@@ -1,0 +1,68 @@
+// Ablation over the pruning-block / tiling size (Tm, Tn) — the central
+// co-design knob. For each candidate block size we report: resource
+// cost, unpruned and pruned R(2+1)D latency (paper pruning targets),
+// speedup, and the achieved parameter pruning rate (edge-block effects
+// make small layers deviate from 1/(1-eta)).
+#include <cstdio>
+
+#include "fpga/scheduler.h"
+#include "report/table.h"
+
+using namespace hwp3d;
+
+int main() {
+  const fpga::FpgaDevice dev = fpga::Zcu102();
+  models::NetworkSpec spec = models::MakeR2Plus1DSpec();
+  models::ApplyPaperPruningTargets(spec);
+  fpga::ResourceModel resources;
+
+  const std::vector<std::pair<int64_t, int64_t>> blocks = {
+      {16, 8}, {32, 8}, {64, 4}, {64, 8}, {64, 16}, {64, 32}, {128, 8}};
+
+  report::Table table(
+      "Ablation — pruning-block / tiling size (Tm, Tn) on R(2+1)D");
+  table.Header({"(Tm,Tn)", "DSP", "BRAM36", "Feasible", "Unpruned (ms)",
+                "Pruned (ms)", "Speedup", "Rate (pruned groups)"});
+  for (const auto& [tm, tn] : blocks) {
+    fpga::Tiling tiling{tm, tn, 4, 14, 14};
+    const fpga::ResourceUsage usage =
+        resources.Estimate(tiling, {&spec}, &dev);
+    const bool feasible = resources.Feasible(usage, dev);
+
+    fpga::NetworkScheduler sched(tiling, fpga::Ports{}, dev, 150.0);
+    const fpga::SpecMasks masks = fpga::GenerateSpecMasks(spec, {tm, tn});
+    const fpga::NetworkPerfReport unpruned = sched.Evaluate(spec);
+    const fpga::NetworkPerfReport pruned = sched.Evaluate(spec, &masks);
+    // Achieved rate over the PRUNED groups only (conv2_x + conv3_x):
+    // coarser blocks quantize the kept-block count harder.
+    double pruned_before = 0.0, pruned_after = 0.0;
+    for (size_t i = 0; i < spec.layers.size(); ++i) {
+      const auto& l = spec.layers[i];
+      if (l.eta <= 0.0) continue;
+      core::BlockPartition part(Shape{l.M, l.N, l.Kd, l.Kr, l.Kc},
+                                {tm, tn});
+      pruned_before += static_cast<double>(l.params());
+      pruned_after +=
+          static_cast<double>(part.EnabledParams(masks.storage[i]));
+    }
+    const double rate = pruned_before / pruned_after;
+
+    table.Row({"(" + report::Table::Int(tm) + "," + report::Table::Int(tn) +
+                   ")",
+               report::Table::Int(usage.dsp),
+               report::Table::Num(usage.bram36_partitioned, 1),
+               feasible ? "yes" : "no",
+               report::Table::Num(unpruned.latency_ms, 0),
+               report::Table::Num(pruned.latency_ms, 0),
+               report::Table::Ratio(unpruned.latency_ms / pruned.latency_ms,
+                                    2),
+               report::Table::Ratio(rate, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: larger Tn buys latency at a DSP/BRAM cost; the paper's\n"
+      "(64,8)/(64,16) sit at the BRAM feasibility edge of the ZCU102.\n"
+      "Coarser blocks also coarsen the pruning granularity (param rate\n"
+      "drifts from the 1/(1-eta) ideal as edge blocks grow).\n");
+  return 0;
+}

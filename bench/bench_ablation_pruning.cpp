@@ -1,0 +1,53 @@
+// Ablation over the pruning ratios eta — the latency/ops trade-off
+// curve. Sweeps the conv2_x/conv3_x targets around the paper's
+// (0.9, 0.8) point and reports surviving ops, modeled latency and
+// speedup, i.e. the series a "speedup vs pruning rate" figure plots.
+#include <cstdio>
+
+#include "fpga/scheduler.h"
+#include "report/table.h"
+
+using namespace hwp3d;
+
+int main() {
+  const fpga::FpgaDevice dev = fpga::Zcu102();
+  fpga::NetworkScheduler sched(fpga::PaperTilingTn8(), fpga::Ports{}, dev,
+                               150.0);
+
+  const models::NetworkSpec dense = models::MakeR2Plus1DSpec();
+  const double unpruned_ms = sched.Evaluate(dense).latency_ms;
+  const double total_ops = dense.TotalOps();
+
+  struct EtaPoint {
+    double eta2, eta3;
+  };
+  const EtaPoint points[] = {{0.0, 0.0},  {0.3, 0.2},  {0.5, 0.4},
+                             {0.7, 0.6},  {0.8, 0.7},  {0.9, 0.8},
+                             {0.95, 0.9}, {0.98, 0.95}};
+
+  report::Table table(
+      "Ablation — pruning ratio sweep on R(2+1)D, (Tm,Tn)=(64,8)");
+  table.Header({"eta conv2_x", "eta conv3_x", "Ops kept (G)", "Ops rate",
+                "Latency (ms)", "Speedup"});
+  for (const EtaPoint& p : points) {
+    models::NetworkSpec spec = models::MakeR2Plus1DSpec();
+    for (auto& l : spec.layers) {
+      if (l.group == "conv2_x") l.eta = p.eta2;
+      if (l.group == "conv3_x") l.eta = p.eta3;
+    }
+    const fpga::SpecMasks masks = fpga::GenerateSpecMasks(spec, {64, 8});
+    const fpga::NetworkPerfReport r = sched.Evaluate(spec, &masks);
+    table.Row({report::Table::Pct(p.eta2), report::Table::Pct(p.eta3),
+               report::Table::Num(2.0 * masks.kept_macs / 1e9, 1),
+               report::Table::Ratio(total_ops / (2.0 * masks.kept_macs), 2),
+               report::Table::Num(r.latency_ms, 0),
+               report::Table::Ratio(unpruned_ms / r.latency_ms, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: speedup saturates once conv2_x/conv3_x no longer dominate\n"
+      "the schedule (Amdahl) — the paper's (90%%, 80%%) point buys ~2.6x;\n"
+      "pruning harder returns little because conv4_x/conv5_x and conv1 are\n"
+      "untouched.\n");
+  return 0;
+}

@@ -1,0 +1,228 @@
+// Reproduces the accuracy claims of Section V on the synthetic-video
+// substitute: the unpruned baseline vs ADMM blockwise pruning (the
+// paper: 89.0% -> 88.66% at 90%/80% block sparsity, "negligible loss"),
+// and positions the baselines the paper argues against:
+//
+//  * one-shot blockwise pruning (no ADMM): loses more accuracy,
+//  * non-structured magnitude pruning: keeps accuracy but its sparsity
+//    is invisible to the block-enable hardware (nearly 0 skippable
+//    blocks),
+//  * structured filter pruning: hardware-friendly but costs accuracy.
+//
+// Scaled-down setting (see DESIGN.md): tiny R(2+1)D, 6 motion classes,
+// eta = 0.75 on all residual-stage convs with (Tm, Tn) = (4, 4).
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/baselines.h"
+#include "core/pipeline.h"
+#include "data/synthetic_video.h"
+#include "models/tiny_r2plus1d.h"
+#include "report/table.h"
+#include "tensor/tensor_ops.h"
+
+using namespace hwp3d;
+
+namespace {
+
+constexpr double kEta = 0.75;
+constexpr int kClasses = 6;
+
+std::vector<TensorF> Snapshot(nn::Module& m) {
+  std::vector<TensorF> out;
+  for (nn::Param* p : m.Params()) out.push_back(p->value);
+  return out;
+}
+
+void Restore(nn::Module& m, const std::vector<TensorF>& snap) {
+  auto params = m.Params();
+  for (size_t i = 0; i < params.size(); ++i) params[i]->value = snap[i];
+}
+
+double AvgSkippable(core::MaskedPruner& pruner, size_t layers,
+                    core::BlockConfig block) {
+  double s = 0.0;
+  for (size_t i = 0; i < layers; ++i) {
+    s += pruner.SkippableBlockFraction(i, block);
+  }
+  return s / static_cast<double>(layers);
+}
+
+// Retrains with the given grad/weight masking hooks, evaluating after
+// `short_epochs` (constrained budget) and after `long_epochs` (ample
+// budget). ADMM's pre-conditioning matters most in the first regime.
+struct RetrainAccs {
+  double short_budget = 0.0;
+  double long_budget = 0.0;
+};
+
+template <typename Pruner>
+RetrainAccs MaskedRetrain(nn::Module& model, Pruner& pruner,
+                          const std::vector<nn::Batch>& train,
+                          const std::vector<nn::Batch>& test,
+                          int short_epochs, int long_epochs) {
+  nn::Sgd opt(model.Params(),
+              {.lr = 0.02f, .momentum = 0.9f, .weight_decay = 0.0f});
+  nn::WarmupCosineLr schedule(0.02f, 1, long_epochs);
+  nn::TrainOptions opts;
+  opts.post_backward = [&pruner]() { pruner.MaskGradients(); };
+  opts.post_step = [&pruner]() { pruner.ReapplyMasks(); };
+  RetrainAccs accs;
+  for (int e = 0; e < long_epochs; ++e) {
+    opt.set_lr(schedule.LrAt(e));
+    nn::TrainEpoch(model, opt, train, opts);
+    if (e + 1 == short_epochs) {
+      accs.short_budget = nn::Evaluate(model, test).accuracy;
+    }
+  }
+  accs.long_budget = nn::Evaluate(model, test).accuracy;
+  return accs;
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::Warning);
+  Rng rng(101);
+  data::SyntheticVideoConfig dcfg;
+  dcfg.num_classes = kClasses;
+  dcfg.frames = 6;
+  dcfg.height = 10;
+  dcfg.width = 10;
+  data::SyntheticVideoDataset dataset(dcfg);
+  const auto train = dataset.MakeBatches(96, 8, rng);
+  const auto test = dataset.MakeBatches(48, 8, rng);
+
+  models::TinyR2Plus1dConfig mcfg;
+  mcfg.num_classes = kClasses;
+  mcfg.stem_channels = 4;
+  mcfg.stage1_channels = 12;
+  mcfg.stage2_channels = 12;
+  models::TinyR2Plus1d model(mcfg, rng);
+
+  // ---- Pretrain the dense baseline to (near) convergence ----
+  nn::Sgd opt(model.Params(),
+              {.lr = 0.06f, .momentum = 0.9f, .weight_decay = 0.0f});
+  nn::WarmupCosineLr pre_schedule(0.06f, 2, 18);
+  for (int e = 0; e < 18; ++e) {
+    opt.set_lr(pre_schedule.LrAt(e));
+    nn::TrainEpoch(model, opt, train, {});
+  }
+  const double base_acc = nn::Evaluate(model, test).accuracy;
+  const std::vector<TensorF> pretrained = Snapshot(model);
+  const core::BlockConfig block{4, 4};
+
+  constexpr int kShort = 3, kLong = 10;
+  report::Table table("Accuracy under pruning (synthetic substitute for "
+                      "UCF101; paper: 89.0% dense vs 88.66% ADMM-pruned)");
+  table.Header({"Scheme", "Sparsity target", "Acc after prune",
+                "Retrain (3 ep)", "Retrain (10 ep)", "Skippable blocks"});
+  table.Row({"dense baseline", "0%", report::Table::Pct(base_acc),
+             report::Table::Pct(base_acc), report::Table::Pct(base_acc),
+             "0%"});
+
+  auto prunable_specs = [&]() {
+    std::vector<core::PruneLayerSpec> specs;
+    for (nn::Conv3d* c : model.PrunableConvs()) {
+      specs.push_back({&c->weight(), block, kEta, c->name()});
+    }
+    return specs;
+  };
+
+  // ---- ADMM blockwise (the paper's method) ----
+  {
+    Restore(model, pretrained);
+    core::AdmmConfig admm_cfg;
+    admm_cfg.rho_schedule = {0.003, 0.03, 0.3};
+    core::AdmmPruner pruner(prunable_specs(), admm_cfg);
+    core::PipelineConfig cfg;
+    cfg.admm = admm_cfg;
+    cfg.epochs_per_round = 3;
+    cfg.retrain_epochs = kShort;
+    cfg.admm_lr = 0.02f;
+    cfg.retrain_lr = 0.02f;
+    const core::PipelineResult r =
+        core::RunAdmmPipeline(model, pruner, train, test, cfg);
+    const RetrainAccs more =
+        MaskedRetrain(model, pruner, train, test, 0, kLong - kShort);
+    table.Row({"ADMM blockwise (ours)", report::Table::Pct(kEta),
+               report::Table::Pct(r.hard_prune_test_acc),
+               report::Table::Pct(r.retrained_test_acc),
+               report::Table::Pct(more.long_budget),
+               report::Table::Pct(kEta)});
+  }
+
+  // ---- One-shot blockwise (no ADMM) ----
+  {
+    Restore(model, pretrained);
+    core::AdmmConfig admm_cfg;
+    admm_cfg.rho_schedule = {0.0};  // rounds carry no proximal pull
+    core::AdmmPruner pruner(prunable_specs(), admm_cfg);
+    core::PipelineConfig cfg;
+    cfg.admm = admm_cfg;
+    cfg.epochs_per_round = 0;  // skip ADMM training entirely
+    cfg.retrain_epochs = kShort;
+    cfg.retrain_lr = 0.02f;
+    const core::PipelineResult r =
+        core::RunAdmmPipeline(model, pruner, train, test, cfg);
+    const RetrainAccs more =
+        MaskedRetrain(model, pruner, train, test, 0, kLong - kShort);
+    table.Row({"one-shot blockwise", report::Table::Pct(kEta),
+               report::Table::Pct(r.hard_prune_test_acc),
+               report::Table::Pct(r.retrained_test_acc),
+               report::Table::Pct(more.long_budget),
+               report::Table::Pct(kEta)});
+  }
+
+  // ---- Non-structured magnitude pruning ----
+  {
+    Restore(model, pretrained);
+    std::vector<core::MagnitudePruner::LayerSpec> specs;
+    for (nn::Conv3d* c : model.PrunableConvs()) {
+      specs.push_back({&c->weight(), kEta, c->name()});
+    }
+    core::MagnitudePruner pruner(specs);
+    pruner.HardPrune();
+    const double after_prune = nn::Evaluate(model, test).accuracy;
+    const RetrainAccs accs =
+        MaskedRetrain(model, pruner, train, test, kShort, kLong);
+    table.Row({"magnitude (non-structured)", report::Table::Pct(kEta),
+               report::Table::Pct(after_prune),
+               report::Table::Pct(accs.short_budget),
+               report::Table::Pct(accs.long_budget),
+               report::Table::Pct(
+                   AvgSkippable(pruner, specs.size(), block))});
+  }
+
+  // ---- Structured filter pruning ----
+  {
+    Restore(model, pretrained);
+    std::vector<core::FilterPruner::LayerSpec> specs;
+    for (nn::Conv3d* c : model.PrunableConvs()) {
+      specs.push_back({&c->weight(), kEta, c->name()});
+    }
+    core::FilterPruner pruner(specs);
+    pruner.HardPrune();
+    const double after_prune = nn::Evaluate(model, test).accuracy;
+    const RetrainAccs accs =
+        MaskedRetrain(model, pruner, train, test, kShort, kLong);
+    table.Row({"filter (structured)", report::Table::Pct(kEta),
+               report::Table::Pct(after_prune),
+               report::Table::Pct(accs.short_budget),
+               report::Table::Pct(accs.long_budget),
+               report::Table::Pct(
+                   AvgSkippable(pruner, specs.size(), block))});
+  }
+
+  table.Print();
+  std::printf(
+      "\nReading: with a constrained retraining budget (3 epochs) ADMM's\n"
+      "pre-conditioning recovers more accuracy than one-shot blockwise\n"
+      "pruning; with ample retraining both converge (the paper retrains 100\n"
+      "epochs and reports near-dense accuracy). Magnitude pruning retains\n"
+      "accuracy but yields ~0%% skippable blocks, i.e. no FPGA speedup —\n"
+      "the hardware-awareness argument of Section I.\n");
+  return 0;
+}

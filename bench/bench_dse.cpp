@@ -1,0 +1,56 @@
+// Design-space exploration (Section IV-B): enumerates tiling candidates
+// under the ZCU102's Eq. 18 BRAM and DSP bounds and ranks them by the
+// modeled latency over BOTH networks the bitstream must serve — the
+// analysis that justifies the paper's (64, x, 4, 14, 14) design points.
+#include <cstdio>
+
+#include "fpga/dse.h"
+#include "report/table.h"
+
+using namespace hwp3d;
+
+int main() {
+  const models::NetworkSpec r2p1d = models::MakeR2Plus1DSpec();
+  const models::NetworkSpec c3d = models::MakeC3DSpec();
+  const fpga::FpgaDevice dev = fpga::Zcu102();
+
+  fpga::DseOptions opt;
+  opt.top_k = 12;
+  const fpga::DseResult result =
+      fpga::ExploreDesignSpace({&r2p1d, &c3d}, {}, dev, opt);
+
+  std::printf("Explored %zu candidates, %zu infeasible on %s.\n\n",
+              result.evaluated, result.infeasible, dev.name.c_str());
+
+  report::Table table("DSE — top designs by combined R(2+1)D + C3D latency");
+  table.Header({"Rank", "(Tm,Tn,Td,Tr,Tc)", "Latency (ms)", "DSP",
+                "BRAM36 (Eq.18)", "LUT"});
+  int rank = 1;
+  for (const auto& c : result.best) {
+    table.Row({report::Table::Int(rank++), c.tiling.ToString(),
+               report::Table::Num(c.latency_ms, 0),
+               report::Table::Int(c.usage.dsp),
+               report::Table::Int(c.usage.bram36_eq18),
+               report::Table::Int(c.usage.lut)});
+  }
+  table.Print();
+
+  // Where do the paper's design points rank?
+  fpga::ResourceModel resources;
+  report::Table paper_pts("Paper design points under the same model");
+  paper_pts.Header({"Design", "Latency (ms)", "DSP", "Feasible"});
+  for (const fpga::Tiling& t :
+       {fpga::PaperTilingTn8(), fpga::PaperTilingTn16()}) {
+    fpga::PerfModel pm(t, opt.ports);
+    const int64_t cycles = pm.NetworkCycles(r2p1d).cycles +
+                           pm.NetworkCycles(c3d).cycles;
+    const fpga::ResourceUsage usage =
+        resources.Estimate(t, {&r2p1d, &c3d});
+    paper_pts.Row({t.ToString(),
+                   report::Table::Num(cycles / (opt.freq_mhz * 1e3), 0),
+                   report::Table::Int(usage.dsp),
+                   resources.Feasible(usage, dev) ? "yes" : "no"});
+  }
+  paper_pts.Print();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Micro-benchmarks (google-benchmark) of the library's hot kernels:
+// the blockwise projection, block-norm computation, fixed-point
+// quantization, the float training convolution, and the tile simulator
+// dense vs pruned (showing the functional block-skip saving).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/projection.h"
+#include "fpga/tiled_conv_sim.h"
+#include "nn/conv3d.h"
+#include "tensor/init.h"
+
+using namespace hwp3d;
+
+namespace {
+
+TensorF RandomWeights(const Shape& shape, uint64_t seed) {
+  Rng rng(seed);
+  TensorF t(shape);
+  FillNormal(t, rng, 0.0f, 1.0f);
+  return t;
+}
+
+void BM_BlockSqNorms(benchmark::State& state) {
+  const TensorF w = RandomWeights(Shape{144, 64, 1, 3, 3}, 1);
+  core::BlockPartition part(w.shape(), {64, 8});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part.BlockSqNorms(w));
+  }
+  state.SetItemsProcessed(state.iterations() * w.numel());
+}
+BENCHMARK(BM_BlockSqNorms);
+
+void BM_ProjectToBlockSparse(benchmark::State& state) {
+  core::BlockPartition part(Shape{144, 64, 1, 3, 3}, {64, 8});
+  for (auto _ : state) {
+    state.PauseTiming();
+    TensorF w = RandomWeights(Shape{144, 64, 1, 3, 3}, 2);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(core::ProjectToBlockSparse(w, part, 0.9));
+  }
+}
+BENCHMARK(BM_ProjectToBlockSparse);
+
+void BM_Quantize(benchmark::State& state) {
+  const TensorF t = RandomWeights(Shape{64, 64, 3, 3, 3}, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Quantize(t));
+  }
+  state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_Quantize);
+
+void BM_Conv3dForward(benchmark::State& state) {
+  Rng rng(4);
+  nn::Conv3dConfig cfg;
+  cfg.in_channels = 8;
+  cfg.out_channels = 8;
+  cfg.kernel = {3, 3, 3};
+  cfg.padding = {1, 1, 1};
+  nn::Conv3d conv(cfg, rng);
+  TensorF x(Shape{1, 8, 8, 16, 16});
+  FillUniform(x, rng, -1.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, false));
+  }
+}
+BENCHMARK(BM_Conv3dForward);
+
+void RunTiledSim(benchmark::State& state, double eta) {
+  Rng rng(5);
+  TensorF wf(Shape{32, 32, 1, 3, 3});
+  FillNormal(wf, rng, 0.0f, 1.0f);
+  core::BlockPartition part(wf.shape(), {8, 8});
+  core::ProjectionResult proj = core::PlanBlockSparse(wf, part, eta);
+  const TensorQ w = Quantize(wf);
+  TensorF xf(Shape{32, 4, 16, 16});
+  FillUniform(xf, rng, -1.0f, 1.0f);
+  const TensorQ x = Quantize(xf);
+  fpga::TiledConvSim sim(fpga::Tiling{8, 8, 2, 7, 7}, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim.Run(w, x, {1, 1, 1}, eta > 0.0 ? &proj.mask : nullptr, {}));
+  }
+}
+
+void BM_TiledSimDense(benchmark::State& state) { RunTiledSim(state, 0.0); }
+BENCHMARK(BM_TiledSimDense);
+
+void BM_TiledSimPruned90(benchmark::State& state) {
+  RunTiledSim(state, 0.9);
+}
+BENCHMARK(BM_TiledSimPruned90);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Pruning-target justification (Section V): the paper prunes conv2_x at
+// 90% and conv3_x at 80% because they are the most computation
+// intensive. This bench reproduces both halves of that argument:
+//
+//  1. the compute-share table of the full-size R(2+1)D (conv2_x+conv3_x
+//     carry ~79% of all operations but only ~6% of the parameters), and
+//  2. a per-layer pruning-sensitivity scan on the trained tiny model
+//     (how much accuracy survives pruning each layer alone, without
+//     retraining) — the practitioner's tool for assigning eta_i.
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/sensitivity.h"
+#include "data/synthetic_video.h"
+#include "models/network_spec.h"
+#include "models/tiny_r2plus1d.h"
+#include "nn/optimizer.h"
+#include "report/table.h"
+
+using namespace hwp3d;
+
+int main() {
+  SetLogLevel(LogLevel::Warning);
+
+  // ---- 1. Where the compute lives in the full-size network ----
+  const models::NetworkSpec spec = models::MakeR2Plus1DSpec();
+  report::Table share("Compute vs parameter share per stage (full R(2+1)D)");
+  share.Header({"Stage", "Params (M)", "Param share", "Ops (G)",
+                "Ops share", "Paper's eta"});
+  const double total_params = spec.TotalParams();
+  const double total_ops = spec.TotalOps();
+  for (const std::string& g : spec.Groups()) {
+    const double p = spec.GroupParams(g);
+    const double o = spec.GroupOps(g);
+    const char* eta = g == "conv2_x" ? "90%" : g == "conv3_x" ? "80%" : "-";
+    share.Row({g, report::Table::Num(p / 1e6, 2),
+               report::Table::Pct(p / total_params),
+               report::Table::Num(o / 1e9, 2),
+               report::Table::Pct(o / total_ops), eta});
+  }
+  share.Print();
+
+  // ---- 2. Sensitivity scan on the trained miniature ----
+  Rng rng(61);
+  data::SyntheticVideoConfig dcfg;
+  dcfg.num_classes = 4;
+  dcfg.frames = 6;
+  dcfg.height = 10;
+  dcfg.width = 10;
+  data::SyntheticVideoDataset dataset(dcfg);
+  const auto train = dataset.MakeBatches(48, 8, rng);
+  const auto probe = dataset.MakeBatches(32, 8, rng);
+
+  models::TinyR2Plus1dConfig mcfg;
+  mcfg.num_classes = 4;
+  mcfg.stem_channels = 4;
+  mcfg.stage1_channels = 8;
+  mcfg.stage2_channels = 8;
+  models::TinyR2Plus1d model(mcfg, rng);
+  nn::Sgd opt(model.Params(),
+              {.lr = 0.05f, .momentum = 0.9f, .weight_decay = 0.0f});
+  for (int e = 0; e < 8; ++e) nn::TrainEpoch(model, opt, train, {});
+  const double dense_acc = nn::Evaluate(model, probe).accuracy;
+
+  std::vector<core::PruneLayerSpec> specs;
+  for (nn::Conv3d* c : model.PrunableConvs()) {
+    specs.push_back({&c->weight(), {4, 4}, 0.0, c->name()});
+  }
+  core::SensitivityOptions sopt;
+  sopt.etas = {0.25, 0.5, 0.75, 0.9};
+  const auto scan = core::ScanPruningSensitivity(model, specs, probe, sopt);
+
+  report::Table table("Per-layer sensitivity (accuracy with ONLY that layer "
+                      "pruned, no retraining)");
+  std::vector<std::string> header = {"Layer", "Params"};
+  for (double e : sopt.etas) header.push_back("eta=" + report::Table::Pct(e));
+  header.push_back("max eta (-10pt)");
+  table.Header(header);
+  table.Row({"(dense accuracy)", "", report::Table::Pct(dense_acc), "", "",
+             "", ""});
+  for (const auto& layer : scan) {
+    std::vector<std::string> row = {layer.name,
+                                    report::Table::Int(layer.params)};
+    for (const auto& p : layer.curve) {
+      row.push_back(report::Table::Pct(p.accuracy));
+    }
+    row.push_back(report::Table::Pct(layer.MaxEtaWithin(dense_acc, 0.10)));
+    table.Row(row);
+  }
+  table.Print();
+  std::printf(
+      "\nReading: stages tolerate substantial blockwise pruning before the\n"
+      "probe accuracy collapses; combined with the ops-share table this is\n"
+      "the paper's rationale for eta = 90%%/80%% on conv2_x/conv3_x only.\n");
+  return 0;
+}

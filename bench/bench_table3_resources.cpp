@@ -1,0 +1,75 @@
+// Reproduces Table III: FPGA resource utilization on the ZCU102 for the
+// two design points (Tm,Tn) = (64,8) and (64,16), with
+// (Td,Tr,Tc) = (4,14,14) and 16-bit fixed point. The bitstream must run
+// both C3D and R(2+1)D, so buffer maxima (Eq. 17) span both networks —
+// exactly how the paper sizes its buffers.
+#include <cstdio>
+
+#include "common/strings.h"
+#include "fpga/resource_model.h"
+#include "report/table.h"
+
+using namespace hwp3d;
+
+namespace {
+
+void PrintDesign(report::Table& table, const char* name,
+                 const fpga::ResourceUsage& u, const fpga::FpgaDevice& dev,
+                 int64_t paper_dsp, double paper_bram, int64_t paper_lut,
+                 int64_t paper_ff) {
+  table.Row({name, "paper used", report::Table::Int(paper_dsp),
+             report::Table::Num(paper_bram, 1),
+             report::Table::Int(paper_lut), report::Table::Int(paper_ff)});
+  table.Row({name, "ours (model)", report::Table::Int(u.dsp),
+             report::Table::Num(u.bram36_partitioned, 1),
+             report::Table::Int(u.lut), report::Table::Int(u.ff)});
+  table.Row(
+      {name, "ours utilization",
+       report::Table::Pct(static_cast<double>(u.dsp) / dev.dsp),
+       report::Table::Pct(u.bram36_partitioned / dev.bram36),
+       report::Table::Pct(static_cast<double>(u.lut) / dev.lut),
+       report::Table::Pct(static_cast<double>(u.ff) / dev.ff)});
+}
+
+}  // namespace
+
+int main() {
+  const models::NetworkSpec r2p1d = models::MakeR2Plus1DSpec();
+  const models::NetworkSpec c3d = models::MakeC3DSpec();
+  const std::vector<const models::NetworkSpec*> nets = {&r2p1d, &c3d};
+  const fpga::FpgaDevice dev = fpga::Zcu102();
+  fpga::ResourceModel model;
+
+  report::Table table("Table III — FPGA resource utilization (ZCU102)");
+  table.Header({"Design", "Row", "DSP", "BRAM36", "LUT", "FF"});
+  table.Row({"device", "available", report::Table::Int(dev.dsp),
+             report::Table::Int(dev.bram36), report::Table::Int(dev.lut),
+             report::Table::Int(dev.ff)});
+  table.Rule();
+
+  const fpga::ResourceUsage u8 =
+      model.Estimate(fpga::PaperTilingTn8(), nets, &dev);
+  PrintDesign(table, "(Tm,Tn)=(64,8)", u8, dev, 695, 710.5, 74000, 51000);
+  table.Rule();
+  const fpga::ResourceUsage u16 =
+      model.Estimate(fpga::PaperTilingTn16(), nets, &dev);
+  PrintDesign(table, "(Tm,Tn)=(64,16)", u16, dev, 1215, 912.0, 148000, 76000);
+  table.Print();
+
+  // The Eq. 18 constraint the DSE uses (aggregate buffer bits), for both
+  // design points — this is the feasibility bound, not what Vivado
+  // reports after array partitioning.
+  report::Table eq18("Eq. 18 aggregate BRAM bound (DSE feasibility)");
+  eq18.Header({"Design", "B_out", "B_in", "B_wgt", "BRAM36 (Eq.18)",
+               "feasible"});
+  for (const auto& [name, u] :
+       {std::make_pair("(64,8)", u8), std::make_pair("(64,16)", u16)}) {
+    eq18.Row({name, report::Table::Int(u.buffers.B_out),
+              report::Table::Int(u.buffers.B_in),
+              report::Table::Int(u.buffers.B_wgt),
+              report::Table::Int(u.bram36_eq18),
+              model.Feasible(u, dev) ? "yes" : "no"});
+  }
+  eq18.Print();
+  return 0;
+}

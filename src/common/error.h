@@ -1,0 +1,76 @@
+// Error handling primitives for the hwprune3d library.
+//
+// The library throws `hwp3d::Error` (derived from std::runtime_error) for
+// all recoverable misuse (shape mismatches, invalid configurations, ...).
+// HWP_CHECK is used at public API boundaries; HWP_DCHECK guards internal
+// invariants and compiles away in release builds when NDEBUG is set.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hwp3d {
+
+// Base exception for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Thrown when tensor shapes are incompatible with the requested operation.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+// Thrown when a configuration (tiling parameters, pruning ratios, device
+// limits, ...) is invalid or infeasible.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+// Accumulates a message for a failed check and throws on destruction of
+// the temporary stream; used by the HWP_CHECK macros below.
+template <typename E>
+[[noreturn]] inline void ThrowCheckFailure(const char* cond, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw E(os.str());
+}
+
+}  // namespace detail
+}  // namespace hwp3d
+
+#define HWP_CHECK_MSG(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream hwp_os_;                                       \
+      hwp_os_ << msg;                                                   \
+      ::hwp3d::detail::ThrowCheckFailure<::hwp3d::Error>(               \
+          #cond, __FILE__, __LINE__, hwp_os_.str());                    \
+    }                                                                   \
+  } while (0)
+
+#define HWP_CHECK(cond) HWP_CHECK_MSG(cond, "")
+
+#define HWP_SHAPE_CHECK_MSG(cond, msg)                                  \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream hwp_os_;                                       \
+      hwp_os_ << msg;                                                   \
+      ::hwp3d::detail::ThrowCheckFailure<::hwp3d::ShapeError>(          \
+          #cond, __FILE__, __LINE__, hwp_os_.str());                    \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define HWP_DCHECK(cond) ((void)0)
+#else
+#define HWP_DCHECK(cond) HWP_CHECK(cond)
+#endif

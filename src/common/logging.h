@@ -1,0 +1,47 @@
+// Minimal leveled logger. Thread-safe; writes to stderr.
+//
+// Usage:  HWP_LOG(Info) << "trained epoch " << e << " acc=" << acc;
+// The global level defaults to Info and can be raised to silence output
+// in tests/benchmarks via SetLogLevel(LogLevel::Warning).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace hwp3d {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warning = 2, Error = 3, Off = 4 };
+
+// Sets the minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace detail {
+
+// One log statement: buffers the message and flushes it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace hwp3d
+
+#define HWP_LOG(severity)                                           \
+  ::hwp3d::detail::LogMessage(::hwp3d::LogLevel::severity, __FILE__, __LINE__)

@@ -1,0 +1,53 @@
+// ParallelFor: static range partitioning over std::thread.
+//
+// Used by the convolution kernels to parallelize over independent output
+// slices. Exceptions thrown by the body are rethrown on the caller thread.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace hwp3d {
+
+// Invokes body(i) for i in [begin, end) across up to `threads` workers.
+// Falls back to serial execution for small ranges.
+inline void ParallelFor(int64_t begin, int64_t end,
+                        const std::function<void(int64_t)>& body,
+                        int threads = 0) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 4;
+  }
+  const int workers =
+      static_cast<int>(std::min<int64_t>(threads, n));
+  if (workers <= 1) {
+    for (int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::vector<std::thread> pool;
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(workers));
+  const int64_t chunk = (n + workers - 1) / workers;
+  for (int w = 0; w < workers; ++w) {
+    const int64_t lo = begin + w * chunk;
+    const int64_t hi = std::min(end, lo + chunk);
+    pool.emplace_back([&, w, lo, hi]() {
+      try {
+        for (int64_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        errors[static_cast<size_t>(w)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace hwp3d

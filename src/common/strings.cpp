@@ -1,0 +1,60 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace hwp3d {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+    out.resize(static_cast<size_t>(needed));
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string Join(const std::vector<int64_t>& items, const std::string& sep) {
+  std::ostringstream os;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) os << sep;
+    os << items[i];
+  }
+  return os.str();
+}
+
+std::string HumanCount(double value) {
+  const char* suffix = "";
+  if (value >= 1e9) {
+    value /= 1e9;
+    suffix = "G";
+  } else if (value >= 1e6) {
+    value /= 1e6;
+    suffix = "M";
+  } else if (value >= 1e3) {
+    value /= 1e3;
+    suffix = "K";
+  }
+  return StrFormat("%.2f%s", value, suffix);
+}
+
+std::string HumanBytes(double bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 3) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  return StrFormat("%.2f %s", bytes, units[u]);
+}
+
+}  // namespace hwp3d

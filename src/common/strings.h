@@ -1,0 +1,22 @@
+// Small string/formatting helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hwp3d {
+
+// Formats like printf into a std::string.
+std::string StrFormat(const char* fmt, ...);
+
+// Joins items with a separator: Join({1,2,3}, "x") == "1x2x3".
+std::string Join(const std::vector<int64_t>& items, const std::string& sep);
+
+// Human-readable quantities: 1234567 -> "1.23M", 2048 -> "2.05K".
+std::string HumanCount(double value);
+
+// Bytes with binary units: 1536 -> "1.50 KiB".
+std::string HumanBytes(double bytes);
+
+}  // namespace hwp3d

@@ -1,0 +1,136 @@
+#include "core/admm.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/tensor_ops.h"
+
+namespace hwp3d::core {
+
+AdmmPruner::AdmmPruner(std::vector<PruneLayerSpec> layers, AdmmConfig cfg)
+    : layers_(std::move(layers)), cfg_(cfg) {
+  HWP_CHECK_MSG(!layers_.empty(), "AdmmPruner needs at least one layer");
+  HWP_CHECK_MSG(!cfg_.rho_schedule.empty(), "empty rho schedule");
+  partitions_.reserve(layers_.size());
+  for (auto& l : layers_) {
+    HWP_CHECK_MSG(l.weight != nullptr, "null weight in PruneLayerSpec");
+    HWP_CHECK_MSG(l.eta >= 0.0 && l.eta < 1.0,
+                  l.name << ": eta out of range: " << l.eta);
+    partitions_.emplace_back(l.weight->value.shape(), l.block);
+  }
+}
+
+void AdmmPruner::StartRound(int round) {
+  HWP_CHECK_MSG(round >= 0 && round < num_rounds(),
+                "round " << round << " out of schedule");
+  rho_ = cfg_.rho_schedule[static_cast<size_t>(round)];
+  if (!initialized_) {
+    // Z^0 = Proj(W^0), V^0 = 0. (Projecting at init rather than Z = W
+    // keeps g_i(Z_i) finite from the start; the first Z-step would do
+    // the same projection anyway.)
+    Z_.clear();
+    V_.clear();
+    for (size_t i = 0; i < layers_.size(); ++i) {
+      TensorF z = layers_[i].weight->value;
+      ProjectToBlockSparse(z, partitions_[i], layers_[i].eta);
+      Z_.push_back(std::move(z));
+      V_.emplace_back(layers_[i].weight->value.shape(), 0.0f);
+    }
+    initialized_ = true;
+  }
+}
+
+void AdmmPruner::AddProximalGradients() {
+  HWP_CHECK_MSG(initialized_, "StartRound must be called first");
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    nn::Param& p = *layers_[i].weight;
+    const TensorF& z = Z_[i];
+    const TensorF& v = V_[i];
+    const float rho = static_cast<float>(rho_);
+    for (int64_t j = 0; j < p.value.numel(); ++j) {
+      p.grad[j] += rho * (p.value[j] - z[j] + v[j]);
+    }
+  }
+}
+
+AdmmResiduals AdmmPruner::UpdateAuxiliaries() {
+  HWP_CHECK_MSG(initialized_, "StartRound must be called first");
+  AdmmResiduals res;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const TensorF& w = layers_[i].weight->value;
+    TensorF z_new = Add(w, V_[i]);  // W^{k+1} + V^k
+    ProjectToBlockSparse(z_new, partitions_[i], layers_[i].eta);
+
+    const double wn = std::max(1e-12, (double)FrobeniusNorm(w));
+    const double primal = FrobeniusNorm(Sub(w, z_new)) / wn;
+    const double dual = FrobeniusNorm(Sub(z_new, Z_[i])) / wn;
+    res.primal = std::max(res.primal, primal);
+    res.dual = std::max(res.dual, dual);
+
+    // V^{k+1} = V^k + W^{k+1} - Z^{k+1}
+    TensorF& v = V_[i];
+    for (int64_t j = 0; j < v.numel(); ++j) {
+      v[j] += w[j] - z_new[j];
+    }
+    Z_[i] = std::move(z_new);
+  }
+  res.converged = res.primal <= cfg_.epsilon && res.dual <= cfg_.epsilon;
+  return res;
+}
+
+double AdmmPruner::ProximalPenalty() const {
+  if (!initialized_) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const TensorF& w = layers_[i].weight->value;
+    double s = 0.0;
+    for (int64_t j = 0; j < w.numel(); ++j) {
+      const double d = static_cast<double>(w[j]) - Z_[i][j] + V_[i][j];
+      s += d * d;
+    }
+    total += 0.5 * rho_ * s;
+  }
+  return total;
+}
+
+void AdmmPruner::HardPrune() {
+  masks_.clear();
+  masks_.reserve(layers_.size());
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    ProjectionResult r = ProjectToBlockSparse(layers_[i].weight->value,
+                                              partitions_[i], layers_[i].eta);
+    masks_.push_back(std::move(r.mask));
+  }
+  hard_pruned_ = true;
+}
+
+void AdmmPruner::MaskGradients() {
+  HWP_CHECK_MSG(hard_pruned_, "MaskGradients before HardPrune");
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    partitions_[i].ApplyMask(layers_[i].weight->grad, masks_[i]);
+  }
+}
+
+void AdmmPruner::ReapplyMasks() {
+  HWP_CHECK_MSG(hard_pruned_, "ReapplyMasks before HardPrune");
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    partitions_[i].ApplyMask(layers_[i].weight->value, masks_[i]);
+  }
+}
+
+std::vector<LayerPruneStats> AdmmPruner::Stats() const {
+  HWP_CHECK_MSG(hard_pruned_, "Stats before HardPrune");
+  std::vector<LayerPruneStats> out;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    LayerPruneStats s;
+    s.name = layers_[i].name;
+    s.total_params = layers_[i].weight->value.numel();
+    s.kept_params = partitions_[i].EnabledParams(masks_[i]);
+    s.total_blocks = partitions_[i].num_blocks();
+    s.kept_blocks = masks_[i].CountEnabled();
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace hwp3d::core

@@ -1,0 +1,117 @@
+// ADMM-based blockwise pruning (Section III, Algorithm 1).
+//
+// The constrained problem  min f({W_i}) s.t. W_i in S_i  is solved in its
+// scaled augmented-Lagrangian form (Eq. 6):
+//
+//   L_rho = f({W_i}) + sum_i g_i(Z_i)
+//         + sum_i rho/2 ( ||W_i - Z_i + V_i||_F^2 - ||V_i||_F^2 )
+//
+// iterated as (Eqs. 7-9):
+//   W-step: SGD on f + rho/2 ||W - Z^k + V^k||^2   (the proximal gradient
+//           rho*(W - Z + V) is added through AddProximalGradients())
+//   Z-step: Z^{k+1} = Proj_S(W^{k+1} + V^k)        (UpdateAuxiliaries())
+//   dual :  V^{k+1} = V^k + W^{k+1} - Z^{k+1}
+//
+// followed by hard pruning and masked retraining (Section III-E).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/block_partition.h"
+#include "core/projection.h"
+#include "nn/param.h"
+
+namespace hwp3d::core {
+
+// One prunable layer handed to the pruner. `weight` must stay alive for
+// the pruner's lifetime and have a rank-5 value tensor.
+struct PruneLayerSpec {
+  nn::Param* weight = nullptr;
+  BlockConfig block;
+  double eta = 0.0;  // target blockwise pruning ratio
+  std::string name;
+};
+
+struct AdmmConfig {
+  // Penalty parameter per round ("multi-rho": the paper uses
+  // 1e-4, 1e-3, 1e-2, 1e-1 over four rounds).
+  std::vector<double> rho_schedule = {1e-4, 1e-3, 1e-2, 1e-1};
+  // Stopping threshold epsilon_i for the primal/dual residuals (Eq. 10),
+  // relative to the Frobenius norm of W.
+  double epsilon = 1e-2;
+};
+
+struct AdmmResiduals {
+  double primal = 0.0;  // max_i ||W_i - Z_i|| / ||W_i||
+  double dual = 0.0;    // max_i ||Z_i^{k+1} - Z_i^k|| / ||W_i||
+  bool converged = false;
+};
+
+struct LayerPruneStats {
+  std::string name;
+  int64_t total_params = 0;
+  int64_t kept_params = 0;
+  int64_t total_blocks = 0;
+  int64_t kept_blocks = 0;
+  double achieved_sparsity() const {
+    return total_params == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(kept_params) / total_params;
+  }
+  double prune_rate() const {
+    return kept_params == 0 ? 0.0
+                            : static_cast<double>(total_params) / kept_params;
+  }
+};
+
+class AdmmPruner {
+ public:
+  AdmmPruner(std::vector<PruneLayerSpec> layers, AdmmConfig cfg);
+
+  int num_rounds() const { return static_cast<int>(cfg_.rho_schedule.size()); }
+  // Sets rho for the given round and re-anchors Z/V (Z = Proj(W), V = 0 on
+  // round 0; subsequent rounds keep the running Z/V per Algorithm 1).
+  void StartRound(int round);
+  double rho() const { return rho_; }
+
+  // W-step coupling: adds rho * (W - Z + V) to each layer's gradient.
+  // Call after Module::Backward, before the optimizer step.
+  void AddProximalGradients();
+
+  // Z-step + dual update (Eqs. 8-9/13). Returns the residuals (Eq. 10).
+  AdmmResiduals UpdateAuxiliaries();
+
+  // Value of the proximal penalty sum_i rho/2 ||W_i - Z_i + V_i||_F^2,
+  // for logging the ADMM training loss.
+  double ProximalPenalty() const;
+
+  // Hard-prunes every layer in place (projection onto S_i) and freezes
+  // the surviving-block masks for masked retraining.
+  void HardPrune();
+
+  // Masked retraining support: zero gradients of pruned blocks / re-zero
+  // pruned weights (guards against optimizer momentum drift).
+  void MaskGradients();
+  void ReapplyMasks();
+
+  // Achieved statistics per layer (valid after HardPrune).
+  std::vector<LayerPruneStats> Stats() const;
+  const std::vector<BlockMask>& masks() const { return masks_; }
+
+  size_t num_layers() const { return layers_.size(); }
+  const PruneLayerSpec& layer(size_t i) const { return layers_[i]; }
+
+ private:
+  std::vector<PruneLayerSpec> layers_;
+  AdmmConfig cfg_;
+  double rho_ = 0.0;
+  bool initialized_ = false;
+  bool hard_pruned_ = false;
+  std::vector<BlockPartition> partitions_;
+  std::vector<TensorF> Z_;
+  std::vector<TensorF> V_;
+  std::vector<BlockMask> masks_;
+};
+
+}  // namespace hwp3d::core

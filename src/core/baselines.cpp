@@ -1,0 +1,144 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace hwp3d::core {
+
+void MaskedPruner::MaskGradients() {
+  HWP_CHECK_MSG(pruned_, "MaskGradients before HardPrune");
+  for (auto& e : entries_) {
+    for (int64_t i = 0; i < e.mask.numel(); ++i) {
+      if (e.mask[i] == 0.0f) e.weight->grad[i] = 0.0f;
+    }
+  }
+}
+
+void MaskedPruner::ReapplyMasks() {
+  HWP_CHECK_MSG(pruned_, "ReapplyMasks before HardPrune");
+  for (auto& e : entries_) {
+    for (int64_t i = 0; i < e.mask.numel(); ++i) {
+      if (e.mask[i] == 0.0f) e.weight->value[i] = 0.0f;
+    }
+  }
+}
+
+std::vector<LayerPruneStats> MaskedPruner::Stats() const {
+  HWP_CHECK_MSG(pruned_, "Stats before HardPrune");
+  std::vector<LayerPruneStats> out;
+  for (const auto& e : entries_) {
+    LayerPruneStats s;
+    s.name = e.name;
+    s.total_params = e.weight->value.numel();
+    int64_t kept = 0;
+    for (int64_t i = 0; i < e.mask.numel(); ++i) {
+      if (e.mask[i] != 0.0f) ++kept;
+    }
+    s.kept_params = kept;
+    out.push_back(s);
+  }
+  return out;
+}
+
+double MaskedPruner::SkippableBlockFraction(size_t layer,
+                                            BlockConfig block) const {
+  HWP_CHECK_MSG(pruned_, "SkippableBlockFraction before HardPrune");
+  HWP_CHECK_MSG(layer < entries_.size(), "layer index out of range");
+  const Entry& e = entries_[layer];
+  BlockPartition part(e.weight->value.shape(), block);
+  // A block is skippable iff every element in it is masked out.
+  const std::vector<double> norms = part.BlockSqNorms(e.mask);
+  int64_t zero_blocks = 0;
+  for (double n : norms) {
+    if (n == 0.0) ++zero_blocks;
+  }
+  return part.num_blocks() == 0
+             ? 0.0
+             : static_cast<double>(zero_blocks) / part.num_blocks();
+}
+
+MagnitudePruner::MagnitudePruner(std::vector<LayerSpec> layers) {
+  for (auto& l : layers) {
+    HWP_CHECK_MSG(l.weight != nullptr, "null weight in MagnitudePruner");
+    HWP_CHECK_MSG(l.eta >= 0.0 && l.eta < 1.0, "eta out of range");
+    Entry e;
+    e.weight = l.weight;
+    e.eta = l.eta;
+    e.name = l.name;
+    entries_.push_back(std::move(e));
+  }
+}
+
+void MagnitudePruner::HardPrune() {
+  for (auto& e : entries_) {
+    TensorF& w = e.weight->value;
+    const int64_t n = w.numel();
+    e.mask = TensorF(w.shape(), 1.0f);
+    const int64_t to_prune = static_cast<int64_t>(std::floor(e.eta * n));
+    if (to_prune == 0) continue;
+    std::vector<int64_t> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      return std::fabs(w[a]) < std::fabs(w[b]);
+    });
+    for (int64_t i = 0; i < to_prune; ++i) {
+      const int64_t idx = order[static_cast<size_t>(i)];
+      e.mask[idx] = 0.0f;
+      w[idx] = 0.0f;
+    }
+  }
+  pruned_ = true;
+}
+
+FilterPruner::FilterPruner(std::vector<LayerSpec> layers) {
+  for (auto& l : layers) {
+    HWP_CHECK_MSG(l.weight != nullptr, "null weight in FilterPruner");
+    HWP_CHECK_MSG(l.weight->value.rank() == 5,
+                  "FilterPruner expects rank-5 conv weights");
+    HWP_CHECK_MSG(l.eta >= 0.0 && l.eta < 1.0, "eta out of range");
+    Entry e;
+    e.weight = l.weight;
+    e.eta = l.eta;
+    e.name = l.name;
+    entries_.push_back(std::move(e));
+  }
+}
+
+void FilterPruner::HardPrune() {
+  for (auto& e : entries_) {
+    TensorF& w = e.weight->value;
+    const int64_t M = w.dim(0);
+    const int64_t per_filter = w.numel() / M;
+    e.mask = TensorF(w.shape(), 1.0f);
+    const int64_t to_prune = static_cast<int64_t>(std::floor(e.eta * M));
+    if (to_prune == 0) continue;
+
+    std::vector<double> norms(static_cast<size_t>(M), 0.0);
+    for (int64_t m = 0; m < M; ++m) {
+      double s = 0.0;
+      for (int64_t k = 0; k < per_filter; ++k) {
+        const float v = w[m * per_filter + k];
+        s += static_cast<double>(v) * v;
+      }
+      norms[static_cast<size_t>(m)] = s;
+    }
+    std::vector<int64_t> order(static_cast<size_t>(M));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      return norms[static_cast<size_t>(a)] < norms[static_cast<size_t>(b)];
+    });
+    for (int64_t i = 0; i < to_prune; ++i) {
+      const int64_t m = order[static_cast<size_t>(i)];
+      for (int64_t k = 0; k < per_filter; ++k) {
+        e.mask[m * per_filter + k] = 0.0f;
+        w[m * per_filter + k] = 0.0f;
+      }
+    }
+  }
+  pruned_ = true;
+}
+
+}  // namespace hwp3d::core

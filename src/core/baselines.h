@@ -1,0 +1,75 @@
+// Baseline pruning schemes the paper positions itself against:
+//
+//  * Non-structured magnitude pruning [7,8]: per-element masks. Reaches
+//    high sparsity but the irregular pattern gives no dense-tile skipping
+//    on the FPGA (block-enable granularity), so hardware speedup is poor.
+//  * Structured filter pruning [9,10]: removes whole output channels.
+//    Hardware-friendly but typically loses more accuracy at equal rate.
+//
+// Both support masked retraining like the blockwise pruner, so the
+// ablation benches can compare accuracy and *achievable block sparsity*
+// (how many Tm x Tn tiles an FPGA could actually skip) across schemes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/admm.h"
+#include "core/block_partition.h"
+#include "nn/param.h"
+
+namespace hwp3d::core {
+
+// Shared machinery: per-layer element masks (1 = keep).
+class MaskedPruner {
+ public:
+  virtual ~MaskedPruner() = default;
+
+  // Computes masks from current weights and zeroes pruned elements.
+  virtual void HardPrune() = 0;
+
+  void MaskGradients();
+  void ReapplyMasks();
+  std::vector<LayerPruneStats> Stats() const;
+
+  // Fraction of Tm x Tn blocks that are entirely zero under `block` —
+  // what the FPGA block-enable mechanism could skip.
+  double SkippableBlockFraction(size_t layer, BlockConfig block) const;
+
+ protected:
+  struct Entry {
+    nn::Param* weight = nullptr;
+    double eta = 0.0;
+    std::string name;
+    TensorF mask;  // same shape as weight, 0/1
+  };
+  std::vector<Entry> entries_;
+  bool pruned_ = false;
+};
+
+// Non-structured: prunes the floor(eta * numel) smallest |w| elements.
+class MagnitudePruner : public MaskedPruner {
+ public:
+  struct LayerSpec {
+    nn::Param* weight = nullptr;
+    double eta = 0.0;
+    std::string name;
+  };
+  explicit MagnitudePruner(std::vector<LayerSpec> layers);
+  void HardPrune() override;
+};
+
+// Structured: prunes the floor(eta * M) output channels (filters) with
+// the smallest L2 norms.
+class FilterPruner : public MaskedPruner {
+ public:
+  struct LayerSpec {
+    nn::Param* weight = nullptr;  // rank-5 [M][N][Kd][Kr][Kc]
+    double eta = 0.0;
+    std::string name;
+  };
+  explicit FilterPruner(std::vector<LayerSpec> layers);
+  void HardPrune() override;
+};
+
+}  // namespace hwp3d::core

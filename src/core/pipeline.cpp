@@ -1,0 +1,72 @@
+#include "core/pipeline.h"
+
+#include "common/logging.h"
+#include "nn/optimizer.h"
+
+namespace hwp3d::core {
+
+PipelineResult RunAdmmPipeline(nn::Module& model, AdmmPruner& pruner,
+                               const std::vector<nn::Batch>& train,
+                               const std::vector<nn::Batch>& test,
+                               const PipelineConfig& cfg) {
+  PipelineResult result;
+
+  // --- ADMM training rounds (W-step epochs with periodic Z/V updates) ---
+  nn::SgdConfig opt_cfg;
+  opt_cfg.lr = cfg.admm_lr;
+  opt_cfg.momentum = cfg.momentum;
+  opt_cfg.weight_decay = cfg.weight_decay;
+  nn::Sgd admm_opt(model.Params(), opt_cfg);
+
+  nn::TrainOptions admm_opts;
+  admm_opts.label_smoothing = cfg.admm_label_smoothing;
+  admm_opts.post_backward = [&pruner]() { pruner.AddProximalGradients(); };
+
+  int global_epoch = 0;
+  for (int round = 0; round < pruner.num_rounds(); ++round) {
+    pruner.StartRound(round);
+    HWP_LOG(Info) << "ADMM round " << round << " rho=" << pruner.rho();
+    for (int e = 0; e < cfg.epochs_per_round; ++e, ++global_epoch) {
+      const nn::EpochStats stats = nn::TrainEpoch(model, admm_opt, train,
+                                                  admm_opts);
+      result.admm_final_train_acc = stats.accuracy;
+      if (cfg.on_epoch) cfg.on_epoch(global_epoch, "admm", stats);
+      if ((e + 1) % cfg.epochs_between_updates == 0) {
+        const AdmmResiduals res = pruner.UpdateAuxiliaries();
+        result.residual_history.push_back(res);
+        HWP_LOG(Debug) << "  epoch " << global_epoch << " loss="
+                       << stats.mean_loss << " acc=" << stats.accuracy
+                       << " primal=" << res.primal << " dual=" << res.dual;
+        if (res.converged) break;
+      }
+    }
+  }
+
+  // --- Hard prune ---
+  pruner.HardPrune();
+  result.hard_prune_test_acc = nn::Evaluate(model, test).accuracy;
+  result.layer_stats = pruner.Stats();
+
+  // --- Masked retraining (warmup + cosine lr, no label smoothing) ---
+  nn::SgdConfig rt_cfg = opt_cfg;
+  rt_cfg.lr = cfg.retrain_lr;
+  nn::Sgd retrain_opt(model.Params(), rt_cfg);
+  nn::WarmupCosineLr schedule(cfg.retrain_lr, cfg.retrain_warmup_epochs,
+                              cfg.retrain_epochs);
+  nn::TrainOptions rt_opts;
+  rt_opts.post_backward = [&pruner]() { pruner.MaskGradients(); };
+  rt_opts.post_step = [&pruner]() { pruner.ReapplyMasks(); };
+  for (int e = 0; e < cfg.retrain_epochs; ++e, ++global_epoch) {
+    retrain_opt.set_lr(schedule.LrAt(e));
+    const nn::EpochStats stats =
+        nn::TrainEpoch(model, retrain_opt, train, rt_opts);
+    if (cfg.on_epoch) cfg.on_epoch(global_epoch, "retrain", stats);
+    HWP_LOG(Debug) << "  retrain epoch " << e << " lr=" << retrain_opt.lr()
+                   << " loss=" << stats.mean_loss << " acc=" << stats.accuracy;
+  }
+  pruner.ReapplyMasks();
+  result.retrained_test_acc = nn::Evaluate(model, test).accuracy;
+  return result;
+}
+
+}  // namespace hwp3d::core

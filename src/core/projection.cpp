@@ -1,0 +1,56 @@
+#include "core/projection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace hwp3d::core {
+
+ProjectionResult PlanBlockSparse(const TensorF& w, const BlockPartition& part,
+                                 double eta) {
+  HWP_CHECK_MSG(eta >= 0.0 && eta < 1.0, "eta must be in [0,1), got " << eta);
+  const int64_t B = part.num_blocks();
+  ProjectionResult out;
+  out.mask = part.FullMask();
+  out.kept_blocks = B;
+  if (eta == 0.0 || B == 0) return out;
+
+  const std::vector<double> sq_norms = part.BlockSqNorms(w);
+  // Eq. 1 demands E_i <= (1 - eta) * B surviving blocks; since E_i is an
+  // integer the tightest satisfying count is floor((1-eta) * B), clamped
+  // to at least one block so a layer is never pruned away entirely.
+  // Ties are broken by index order (stable sort) for determinism.
+  const int64_t kept =
+      std::max<int64_t>(1, static_cast<int64_t>(std::floor((1.0 - eta) *
+                                                           B)));
+  const int64_t to_prune = B - kept;
+  std::vector<int64_t> order(static_cast<size_t>(B));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return sq_norms[static_cast<size_t>(a)] < sq_norms[static_cast<size_t>(b)];
+  });
+  for (int64_t i = 0; i < to_prune; ++i) {
+    const int64_t blk = order[static_cast<size_t>(i)];
+    out.mask.enabled[static_cast<size_t>(blk)] = 0;
+  }
+  out.pruned_blocks = to_prune;
+  out.kept_blocks = B - to_prune;
+  if (to_prune > 0 && to_prune < B) {
+    // zeta: the norm of the smallest surviving block (the percentile
+    // boundary); everything strictly below it is pruned.
+    out.threshold =
+        std::sqrt(sq_norms[static_cast<size_t>(order[static_cast<size_t>(to_prune)])]);
+  }
+  return out;
+}
+
+ProjectionResult ProjectToBlockSparse(TensorF& w, const BlockPartition& part,
+                                      double eta) {
+  ProjectionResult plan = PlanBlockSparse(w, part, eta);
+  part.ApplyMask(w, plan.mask);
+  return plan;
+}
+
+}  // namespace hwp3d::core

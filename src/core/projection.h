@@ -1,0 +1,31 @@
+// Euclidean projection onto the blockwise sparsity set S_i (Eq. 13).
+//
+// S_i = { W : #nonzero blocks <= (1 - eta) * ceil(M/Tm) * ceil(N/Tn) }.
+// The projection keeps the floor((1-eta) * B) blocks with the largest
+// L2 norms (the tightest integer count satisfying Eq. 1, clamped to >= 1)
+// and zeroes the rest; the reported threshold zeta_i is the norm
+// percentile separating kept from pruned blocks (Eq. 13).
+#pragma once
+
+#include "core/block_partition.h"
+
+namespace hwp3d::core {
+
+struct ProjectionResult {
+  BlockMask mask;           // surviving blocks
+  double threshold = 0.0;   // zeta_i: L2-norm percentile used
+  int64_t pruned_blocks = 0;
+  int64_t kept_blocks = 0;
+};
+
+// Projects `w` in place onto S(eta) under the given block partition and
+// returns the surviving-block mask. eta in [0, 1); eta = 0 is a no-op
+// that returns a full mask.
+ProjectionResult ProjectToBlockSparse(TensorF& w, const BlockPartition& part,
+                                      double eta);
+
+// Non-mutating variant: returns the mask that projection WOULD apply.
+ProjectionResult PlanBlockSparse(const TensorF& w, const BlockPartition& part,
+                                 double eta);
+
+}  // namespace hwp3d::core

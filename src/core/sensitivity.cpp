@@ -1,0 +1,47 @@
+#include "core/sensitivity.h"
+
+#include "common/error.h"
+#include "core/projection.h"
+
+namespace hwp3d::core {
+
+double LayerSensitivity::MaxEtaWithin(double dense_accuracy,
+                                      double tolerance) const {
+  double best = 0.0;
+  for (const SensitivityPoint& p : curve) {
+    if (p.accuracy >= dense_accuracy - tolerance) {
+      best = std::max(best, p.eta);
+    }
+  }
+  return best;
+}
+
+std::vector<LayerSensitivity> ScanPruningSensitivity(
+    nn::Module& model, const std::vector<PruneLayerSpec>& layers,
+    const std::vector<nn::Batch>& probe, const SensitivityOptions& options) {
+  HWP_CHECK_MSG(!layers.empty(), "sensitivity scan needs layers");
+  HWP_CHECK_MSG(!probe.empty(), "sensitivity scan needs probe batches");
+
+  std::vector<LayerSensitivity> out;
+  for (const PruneLayerSpec& layer : layers) {
+    HWP_CHECK_MSG(layer.weight != nullptr, "null weight in scan");
+    LayerSensitivity sens;
+    sens.name = layer.name;
+    sens.params = layer.weight->value.numel();
+    BlockPartition part(layer.weight->value.shape(),
+                        layer.block.Tm > 0 ? layer.block : options.block);
+    const TensorF backup = layer.weight->value;
+    for (double eta : options.etas) {
+      ProjectToBlockSparse(layer.weight->value, part, eta);
+      SensitivityPoint point;
+      point.eta = eta;
+      point.accuracy = nn::Evaluate(model, probe).accuracy;
+      sens.curve.push_back(point);
+      layer.weight->value = backup;  // restore before the next eta
+    }
+    out.push_back(std::move(sens));
+  }
+  return out;
+}
+
+}  // namespace hwp3d::core

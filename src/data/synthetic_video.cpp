@@ -1,0 +1,167 @@
+#include "data/synthetic_video.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hwp3d::data {
+
+std::string MotionName(Motion m) {
+  switch (m) {
+    case Motion::kTranslateRight: return "translate-right";
+    case Motion::kTranslateLeft: return "translate-left";
+    case Motion::kTranslateDown: return "translate-down";
+    case Motion::kTranslateUp: return "translate-up";
+    case Motion::kRotateCw: return "rotate-cw";
+    case Motion::kRotateCcw: return "rotate-ccw";
+    case Motion::kExpand: return "expand";
+    case Motion::kContract: return "contract";
+    case Motion::kBlink: return "blink";
+    case Motion::kStatic: return "static";
+  }
+  return "?";
+}
+
+SyntheticVideoDataset::SyntheticVideoDataset(SyntheticVideoConfig cfg)
+    : cfg_(cfg) {
+  HWP_CHECK_MSG(cfg_.num_classes >= 2 && cfg_.num_classes <= 10,
+                "num_classes must be in [2,10]");
+  HWP_CHECK_MSG(cfg_.frames >= 2 && cfg_.height >= 8 && cfg_.width >= 8,
+                "clip too small for motion patterns");
+}
+
+void SyntheticVideoDataset::RenderFrame(TensorF& clip, int frame,
+                                        Motion motion, float cx, float cy,
+                                        float size, float angle, float scale,
+                                        float intensity, bool visible) const {
+  if (!visible) return;
+  const int H = cfg_.height, W = cfg_.width, C = cfg_.channels;
+  const float eff_size = size * scale;
+  for (int y = 0; y < H; ++y) {
+    for (int x = 0; x < W; ++x) {
+      float value = 0.0f;
+      if (motion == Motion::kRotateCw || motion == Motion::kRotateCcw) {
+        // Oriented bar: distance from the line through (cx,cy) at `angle`.
+        const float dx = static_cast<float>(x) - cx;
+        const float dy = static_cast<float>(y) - cy;
+        const float along = dx * std::cos(angle) + dy * std::sin(angle);
+        const float across = -dx * std::sin(angle) + dy * std::cos(angle);
+        if (std::fabs(along) <= eff_size && std::fabs(across) <= 1.0f) {
+          value = intensity;
+        }
+      } else {
+        // Axis-aligned square.
+        if (std::fabs(static_cast<float>(x) - cx) <= eff_size &&
+            std::fabs(static_cast<float>(y) - cy) <= eff_size) {
+          value = intensity;
+        }
+      }
+      if (value > 0.0f) {
+        for (int c = 0; c < C; ++c) {
+          clip(c, frame, y, x) = value;
+        }
+      }
+    }
+  }
+}
+
+Sample SyntheticVideoDataset::MakeSample(int label, Rng& rng) const {
+  HWP_CHECK_MSG(label >= 0 && label < cfg_.num_classes,
+                "label " << label << " out of range");
+  const Motion motion = static_cast<Motion>(label);
+  const int D = cfg_.frames, H = cfg_.height, W = cfg_.width;
+
+  Sample s;
+  s.label = label;
+  s.clip = TensorF(Shape{cfg_.channels, D, H, W}, 0.0f);
+
+  // Randomized shape parameters. Keep the shape inside the frame for the
+  // whole clip so every class has the same per-frame appearance stats.
+  const float margin = 0.3f * static_cast<float>(std::min(H, W));
+  const float cx0 =
+      static_cast<float>(rng.Uniform(margin, W - 1 - margin));
+  const float cy0 =
+      static_cast<float>(rng.Uniform(margin, H - 1 - margin));
+  const float size = static_cast<float>(rng.Uniform(1.5, 2.5));
+  const float intensity = static_cast<float>(rng.Uniform(0.7, 1.0));
+  const float angle0 = static_cast<float>(rng.Uniform(0.0, 3.14159265));
+  // Per-clip speed so the *direction/sense*, not a fixed speed, defines
+  // the class.
+  const float speed = static_cast<float>(rng.Uniform(0.6, 1.2));
+  const float omega = static_cast<float>(rng.Uniform(0.25, 0.5));
+
+  for (int t = 0; t < D; ++t) {
+    float cx = cx0, cy = cy0, angle = angle0, scale = 1.0f;
+    bool visible = true;
+    const float ft = static_cast<float>(t);
+    switch (motion) {
+      case Motion::kTranslateRight: cx = cx0 + speed * ft; break;
+      case Motion::kTranslateLeft: cx = cx0 - speed * ft; break;
+      case Motion::kTranslateDown: cy = cy0 + speed * ft; break;
+      case Motion::kTranslateUp: cy = cy0 - speed * ft; break;
+      case Motion::kRotateCw: angle = angle0 + omega * ft; break;
+      case Motion::kRotateCcw: angle = angle0 - omega * ft; break;
+      case Motion::kExpand: scale = 1.0f + 0.18f * ft; break;
+      case Motion::kContract: scale = std::max(0.2f, 1.0f - 0.12f * ft); break;
+      case Motion::kBlink: visible = (t % 2 == 0); break;
+      case Motion::kStatic: break;
+    }
+    // Clamp the center so translations slide along the border instead of
+    // leaving the frame entirely.
+    cx = std::min(std::max(cx, 1.0f), static_cast<float>(W - 2));
+    cy = std::min(std::max(cy, 1.0f), static_cast<float>(H - 2));
+    RenderFrame(s.clip, t, motion, cx, cy, size, angle, scale, intensity,
+                visible);
+  }
+
+  if (cfg_.noise_std > 0.0f) {
+    for (int64_t i = 0; i < s.clip.numel(); ++i) {
+      s.clip[i] += static_cast<float>(rng.Normal(0.0, cfg_.noise_std));
+    }
+  }
+  return s;
+}
+
+std::vector<Sample> SyntheticVideoDataset::MakeSamples(int count,
+                                                       Rng& rng) const {
+  std::vector<Sample> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(MakeSample(i % cfg_.num_classes, rng));
+  }
+  // Shuffle so batches are class-mixed.
+  for (int i = count - 1; i > 0; --i) {
+    const int j = static_cast<int>(rng.UniformInt(0, i));
+    std::swap(out[static_cast<size_t>(i)], out[static_cast<size_t>(j)]);
+  }
+  return out;
+}
+
+std::vector<nn::Batch> SyntheticVideoDataset::MakeBatches(int count,
+                                                          int batch_size,
+                                                          Rng& rng) const {
+  HWP_CHECK_MSG(batch_size > 0, "batch_size must be positive");
+  const std::vector<Sample> samples = MakeSamples(count, rng);
+  std::vector<nn::Batch> batches;
+  const int D = cfg_.frames, H = cfg_.height, W = cfg_.width,
+            C = cfg_.channels;
+  for (int start = 0; start < count; start += batch_size) {
+    const int bsz = std::min(batch_size, count - start);
+    nn::Batch batch;
+    batch.clips = TensorF(Shape{bsz, C, D, H, W});
+    batch.labels.resize(static_cast<size_t>(bsz));
+    for (int b = 0; b < bsz; ++b) {
+      const Sample& s = samples[static_cast<size_t>(start + b)];
+      batch.labels[static_cast<size_t>(b)] = s.label;
+      for (int c = 0; c < C; ++c)
+        for (int d = 0; d < D; ++d)
+          for (int h = 0; h < H; ++h)
+            for (int w = 0; w < W; ++w)
+              batch.clips(b, c, d, h, w) = s.clip(c, d, h, w);
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace hwp3d::data

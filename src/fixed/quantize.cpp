@@ -1,0 +1,39 @@
+#include "fixed/quantize.h"
+
+#include <cmath>
+
+namespace hwp3d {
+
+TensorQ Quantize(const TensorF& t) {
+  TensorQ out(t.shape());
+  for (int64_t i = 0; i < t.numel(); ++i) out[i] = Fixed16::FromFloat(t[i]);
+  return out;
+}
+
+TensorF Dequantize(const TensorQ& t) {
+  TensorF out(t.shape());
+  for (int64_t i = 0; i < t.numel(); ++i) out[i] = t[i].ToFloat();
+  return out;
+}
+
+QuantStats MeasureQuantization(const TensorF& t) {
+  QuantStats stats;
+  double sum_abs = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    const Fixed16 q = Fixed16::FromFloat(t[i]);
+    const float err = std::fabs(t[i] - q.ToFloat());
+    stats.max_abs_error = std::max(stats.max_abs_error, err);
+    sum_abs += err;
+    if (q.raw() == Fixed16::kRawMax || q.raw() == Fixed16::kRawMin) {
+      // Saturation only counts when the float was actually out of range.
+      if (t[i] > Fixed16::MaxValue() || t[i] < Fixed16::MinValue()) {
+        ++stats.saturated;
+      }
+    }
+  }
+  stats.mean_abs_error =
+      t.numel() > 0 ? static_cast<float>(sum_abs / t.numel()) : 0.0f;
+  return stats;
+}
+
+}  // namespace hwp3d

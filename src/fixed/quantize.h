@@ -1,0 +1,28 @@
+// Tensor-level quantization between float and Fixed16 (Q7.8), plus
+// quantization-error statistics used to validate that 16-bit fixed point
+// preserves model outputs (the paper runs the whole datapath in Q7.8).
+#pragma once
+
+#include "fixed/fixed_point.h"
+#include "tensor/tensor.h"
+
+namespace hwp3d {
+
+using TensorQ = Tensor<Fixed16>;
+
+// Round-to-nearest, saturating quantization of every element.
+TensorQ Quantize(const TensorF& t);
+
+// Exact float reconstruction of the quantized values.
+TensorF Dequantize(const TensorQ& t);
+
+struct QuantStats {
+  float max_abs_error = 0.0f;   // max |x - Q(x)|
+  float mean_abs_error = 0.0f;  // mean |x - Q(x)|
+  int64_t saturated = 0;        // elements clipped at ±Q7.8 range
+};
+
+// Quantizes and reports the element-wise error statistics.
+QuantStats MeasureQuantization(const TensorF& t);
+
+}  // namespace hwp3d

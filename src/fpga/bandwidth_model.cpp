@@ -1,0 +1,67 @@
+#include "fpga/bandwidth_model.h"
+
+#include "common/error.h"
+#include "tensor/shape.h"
+
+namespace hwp3d::fpga {
+
+LayerTraffic BandwidthModel::LayerBytes(const models::ConvLayerSpec& l,
+                                        const core::BlockMask* mask) const {
+  LayerTraffic t;
+  const int64_t blocks_m = CeilDiv(l.M, tiling_.Tm);
+  const int64_t blocks_n = CeilDiv(l.N, tiling_.Tn);
+  if (mask != nullptr) {
+    HWP_CHECK_MSG(mask->blocks_m == blocks_m && mask->blocks_n == blocks_n,
+                  l.name << ": mask grid mismatch in bandwidth model");
+  }
+  const int64_t spatial_tiles = CeilDiv(l.D, tiling_.Td) *
+                                CeilDiv(l.R, tiling_.Tr) *
+                                CeilDiv(l.C, tiling_.Tc);
+  const int64_t k_vol = l.Kd * l.Kr * l.Kc;
+  const int64_t in_tile = ((tiling_.Td - 1) * l.Sd + l.Kd) *
+                          ((tiling_.Tr - 1) * l.Sr + l.Kr) *
+                          ((tiling_.Tc - 1) * l.Sc + l.Kc);
+  const double bpe = static_cast<double>(bytes_per_element_);
+
+  int64_t enabled_blocks = 0;
+  for (int64_t bm = 0; bm < blocks_m; ++bm) {
+    enabled_blocks +=
+        mask != nullptr ? mask->CountEnabledInRow(bm) : blocks_n;
+  }
+  // Weight tiles are re-fetched for every spatial tile (the weight
+  // buffer holds exactly one block, Section IV-A).
+  t.weight_bytes = bpe * static_cast<double>(spatial_tiles) *
+                   static_cast<double>(enabled_blocks) *
+                   static_cast<double>(tiling_.Tm * tiling_.Tn * k_vol);
+  // Input tiles: one fetch per enabled (m-row, n-block) pair per spatial
+  // tile; the same receptive field is re-read for each m-row.
+  t.input_bytes = bpe * static_cast<double>(spatial_tiles) *
+                  static_cast<double>(enabled_blocks) *
+                  static_cast<double>(tiling_.Tn * in_tile);
+  // Output tiles: written once per (m, d, r, c) tile.
+  t.output_bytes = bpe * static_cast<double>(spatial_tiles * blocks_m) *
+                   static_cast<double>(tiling_.Tm * tiling_.Td * tiling_.Tr *
+                                       tiling_.Tc);
+  return t;
+}
+
+NetworkTraffic BandwidthModel::NetworkBytes(const models::NetworkSpec& spec,
+                                            const SpecMasks* masks) const {
+  if (masks != nullptr) {
+    HWP_CHECK_MSG(masks->ptrs.size() == spec.layers.size(),
+                  "mask list does not match spec");
+  }
+  NetworkTraffic out;
+  for (size_t i = 0; i < spec.layers.size(); ++i) {
+    const core::BlockMask* mask =
+        masks != nullptr ? masks->ptrs[i] : nullptr;
+    const LayerTraffic t = LayerBytes(spec.layers[i], mask);
+    out.totals.weight_bytes += t.weight_bytes;
+    out.totals.input_bytes += t.input_bytes;
+    out.totals.output_bytes += t.output_bytes;
+    out.per_layer.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace hwp3d::fpga

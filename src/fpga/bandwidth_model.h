@@ -1,0 +1,53 @@
+// Off-chip (DRAM) traffic model for the tiled accelerator.
+//
+// Eqs. 19-21 express per-tile transfer LATENCY through port widths; this
+// model accounts for the total BYTES moved per inference — weight tiles
+// (once per enabled block per spatial tile), input tiles (once per
+// enabled n-block per tile iteration, as the engine re-fetches the
+// receptive field for every output tile) and output tiles (once per
+// (m, d, r, c) tile). From traffic and latency it derives the average
+// bandwidth demand, which must fit the board's DDR envelope; block-enable
+// pruning cuts weight AND input traffic in the same proportion it cuts
+// compute — a second, often-overlooked saving of the co-design.
+#pragma once
+
+#include "fpga/perf_model.h"
+#include "fpga/spec_masks.h"
+
+namespace hwp3d::fpga {
+
+struct LayerTraffic {
+  double weight_bytes = 0.0;
+  double input_bytes = 0.0;
+  double output_bytes = 0.0;
+  double total() const { return weight_bytes + input_bytes + output_bytes; }
+};
+
+struct NetworkTraffic {
+  LayerTraffic totals;
+  std::vector<LayerTraffic> per_layer;
+  // Average bandwidth demand over the modeled execution.
+  double AvgBandwidthGBs(int64_t total_cycles, double freq_mhz) const {
+    const double seconds = static_cast<double>(total_cycles) /
+                           (freq_mhz * 1e6);
+    return totals.total() / 1e9 / seconds;
+  }
+};
+
+class BandwidthModel {
+ public:
+  explicit BandwidthModel(Tiling tiling, int64_t bytes_per_element = 2)
+      : tiling_(tiling), bytes_per_element_(bytes_per_element) {}
+
+  LayerTraffic LayerBytes(const models::ConvLayerSpec& layer,
+                          const core::BlockMask* mask = nullptr) const;
+
+  NetworkTraffic NetworkBytes(const models::NetworkSpec& spec,
+                              const SpecMasks* masks = nullptr) const;
+
+ private:
+  Tiling tiling_;
+  int64_t bytes_per_element_;
+};
+
+}  // namespace hwp3d::fpga

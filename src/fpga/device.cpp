@@ -1,0 +1,68 @@
+#include "fpga/device.h"
+
+namespace hwp3d::fpga {
+
+FpgaDevice Zcu102() {
+  FpgaDevice d;
+  d.name = "ZCU102";
+  d.dsp = 2520;
+  d.bram36 = 912;
+  d.lut = 274080;
+  d.ff = 548160;
+  d.technology_nm = 16;
+  d.default_freq_mhz = 150.0;
+  return d;
+}
+
+FpgaDevice Zc706() {
+  FpgaDevice d;
+  d.name = "ZC706";
+  d.dsp = 900;
+  d.bram36 = 545;
+  d.lut = 218600;
+  d.ff = 437200;
+  d.technology_nm = 28;
+  d.default_freq_mhz = 176.0;
+  return d;
+}
+
+FpgaDevice Vc709() {
+  FpgaDevice d;
+  d.name = "VC709";
+  d.dsp = 3600;
+  d.bram36 = 1470;
+  d.lut = 433200;
+  d.ff = 866400;
+  d.technology_nm = 28;
+  d.default_freq_mhz = 150.0;
+  return d;
+}
+
+FpgaDevice Vus440() {
+  FpgaDevice d;
+  d.name = "VUS440";
+  d.dsp = 2880;
+  d.bram36 = 2520;
+  d.lut = 2532960;
+  d.ff = 5065920;
+  d.technology_nm = 20;
+  d.default_freq_mhz = 200.0;
+  return d;
+}
+
+std::vector<PublishedRow> PublishedComparators() {
+  std::vector<PublishedRow> rows;
+  rows.push_back({"F-C3D [13]", "C3D", "ZC706", 176.0, "16-bit fixed", 28,
+                  9.7, 71.0, 810, 542.5});
+  rows.push_back({"Template [18]", "C3D", "VC709", 150.0, "16-bit fixed", 28,
+                  25.0, 430.7, 1536, 89.4});
+  rows.push_back({"Template [18]", "C3D", "VUS440", 200.0, "16-bit fixed", 20,
+                  26.0, 784.7, 1536, 49.1});
+  rows.push_back({"GPU", "R(2+1)D", "GTX 1080 Ti", 1481.0, "32-bit float", 16,
+                  230.0, 3256.9, 0, 25.5});
+  rows.push_back({"CPU", "R(2+1)D", "E5-1650 v4", 3600.0, "32-bit float", 14,
+                  0.0, 68.1, 0, 1220.0});
+  return rows;
+}
+
+}  // namespace hwp3d::fpga

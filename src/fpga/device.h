@@ -1,0 +1,52 @@
+// FPGA device catalog and published comparator rows.
+//
+// The device limits gate the design-space exploration (Eq. 18's BRAM
+// bound, DSP count) and the Table III/IV utilization percentages. The
+// comparator rows reproduce the published numbers of Table IV for
+// implementations we do not simulate (F-C3D [13], the template
+// architectures of [18], GPU, CPU); they are data, clearly labeled as
+// published values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hwp3d::fpga {
+
+struct FpgaDevice {
+  std::string name;
+  int64_t dsp = 0;      // DSP48 slices
+  int64_t bram36 = 0;   // 36Kb block RAMs
+  int64_t lut = 0;
+  int64_t ff = 0;
+  int technology_nm = 0;
+  double default_freq_mhz = 150.0;
+};
+
+// Xilinx ZCU102 (Zynq UltraScale+ ZU9EG) — the paper's board.
+FpgaDevice Zcu102();
+// Comparator boards of Table IV.
+FpgaDevice Zc706();
+FpgaDevice Vc709();
+FpgaDevice Vus440();
+
+// A published implementation row of Table IV (values quoted from the
+// paper; not produced by our models).
+struct PublishedRow {
+  std::string label;       // e.g. "F-C3D [13]"
+  std::string network;     // C3D / R(2+1)D
+  std::string device;
+  double freq_mhz = 0.0;
+  std::string precision;
+  int technology_nm = 0;
+  double power_w = 0.0;        // <= 0: not reported
+  double throughput_gops = 0.0;
+  int64_t dsp_used = 0;        // 0: not reported
+  double latency_ms = 0.0;
+};
+
+// The non-"ours" columns of Table IV.
+std::vector<PublishedRow> PublishedComparators();
+
+}  // namespace hwp3d::fpga

@@ -1,0 +1,59 @@
+#include "fpga/dse.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hwp3d::fpga {
+
+DseResult ExploreDesignSpace(
+    const std::vector<const models::NetworkSpec*>& networks,
+    const std::vector<const SpecMasks*>& masks, const FpgaDevice& device,
+    const DseOptions& options) {
+  HWP_CHECK_MSG(!networks.empty(), "DSE needs at least one network");
+  HWP_CHECK_MSG(masks.empty() || masks.size() == networks.size(),
+                "masks must be empty or match networks");
+  ResourceModel resources;
+  DseResult result;
+
+  for (int64_t tm : options.Tm)
+    for (int64_t tn : options.Tn)
+      for (int64_t td : options.Td)
+        for (int64_t tr : options.Tr)
+          for (int64_t tc : options.Tc) {
+            DseCandidate cand;
+            cand.tiling = Tiling{tm, tn, td, tr, tc};
+            ++result.evaluated;
+            cand.usage = resources.Estimate(cand.tiling, networks);
+            cand.feasible = resources.Feasible(cand.usage, device);
+            if (!cand.feasible) {
+              ++result.infeasible;
+              continue;
+            }
+            PerfModel pm(cand.tiling, options.ports);
+            for (size_t i = 0; i < networks.size(); ++i) {
+              const SpecMasks* m = masks.empty() ? nullptr : masks[i];
+              // Mask grids depend on (Tm, Tn); they only apply when the
+              // candidate matches the mask's block config.
+              const bool mask_applies = m != nullptr &&
+                                        m->block.Tm == tm && m->block.Tn == tn;
+              const LayerLatency lat = pm.NetworkCycles(
+                  *networks[i], mask_applies ? &m->ptrs : nullptr);
+              cand.cycles += lat.cycles;
+            }
+            cand.latency_ms =
+                static_cast<double>(cand.cycles) / (options.freq_mhz * 1e3);
+            result.best.push_back(cand);
+          }
+
+  std::sort(result.best.begin(), result.best.end(),
+            [](const DseCandidate& a, const DseCandidate& b) {
+              return a.cycles < b.cycles;
+            });
+  if (result.best.size() > options.top_k) {
+    result.best.resize(options.top_k);
+  }
+  return result;
+}
+
+}  // namespace hwp3d::fpga

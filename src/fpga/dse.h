@@ -1,0 +1,49 @@
+// Design-space exploration over the five tiling factors (Section IV-B).
+//
+// Enumerates (Tm, Tn, Td, Tr, Tc) candidates, discards points violating
+// the device's BRAM (Eq. 18) and DSP bounds, evaluates the latency model
+// on the target network(s), and ranks the survivors. This is the tool
+// that justifies the paper's chosen (64, 8, 4, 14, 14) / (64, 16, ...)
+// design points.
+#pragma once
+
+#include <vector>
+
+#include "fpga/scheduler.h"
+
+namespace hwp3d::fpga {
+
+struct DseCandidate {
+  Tiling tiling;
+  int64_t cycles = 0;       // summed over all target networks
+  double latency_ms = 0.0;
+  ResourceUsage usage;
+  bool feasible = false;
+};
+
+struct DseOptions {
+  std::vector<int64_t> Tm = {16, 32, 64, 128};
+  std::vector<int64_t> Tn = {4, 8, 16, 32};
+  std::vector<int64_t> Td = {1, 2, 4, 8};
+  std::vector<int64_t> Tr = {7, 14, 28};
+  std::vector<int64_t> Tc = {7, 14, 28};
+  Ports ports;
+  double freq_mhz = 150.0;
+  // Keep at most this many feasible candidates (best first).
+  size_t top_k = 10;
+};
+
+struct DseResult {
+  std::vector<DseCandidate> best;  // feasible, sorted by latency
+  size_t evaluated = 0;
+  size_t infeasible = 0;
+};
+
+// `networks`: all networks the bitstream must run (their masks may be
+// null = unpruned). Buffer maxima (Eq. 17) span all of them.
+DseResult ExploreDesignSpace(
+    const std::vector<const models::NetworkSpec*>& networks,
+    const std::vector<const SpecMasks*>& masks, const FpgaDevice& device,
+    const DseOptions& options);
+
+}  // namespace hwp3d::fpga

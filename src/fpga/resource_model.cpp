@@ -1,0 +1,87 @@
+#include "fpga/resource_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/shape.h"
+
+namespace hwp3d::fpga {
+
+namespace {
+// BRAM18 primitives needed for one partition of `elems` n_bit-wide words.
+int64_t Bram18ForPartition(int64_t elems, int64_t n_bit) {
+  const int64_t bits = elems * n_bit;
+  return std::max<int64_t>(1, CeilDiv(bits, 18 * 1024));
+}
+}  // namespace
+
+BufferSizes ResourceModel::ComputeBuffers(
+    const Tiling& t,
+    const std::vector<const models::NetworkSpec*>& networks) const {
+  HWP_CHECK_MSG(!networks.empty(), "need at least one network spec");
+  BufferSizes b;
+  for (const auto* net : networks) {
+    for (const auto& l : net->layers) {
+      const int64_t k_size = l.Kd * l.Kr * l.Kc;
+      // Input tile covers the receptive field of an output tile (Eq. 17).
+      const int64_t i_size = ((t.Td - 1) * l.Sd + l.Kd) *
+                             ((t.Tr - 1) * l.Sr + l.Kr) *
+                             ((t.Tc - 1) * l.Sc + l.Kc);
+      b.K_size = std::max(b.K_size, k_size);
+      b.I_size = std::max(b.I_size, i_size);
+    }
+  }
+  // Double buffering: factor 2 on every buffer (Eqs. 14-16).
+  b.B_out = 2 * t.Tm * t.Td * t.Tr * t.Tc;
+  b.B_in = 2 * t.Tn * b.I_size;
+  b.B_wgt = 2 * t.Tm * t.Tn * b.K_size;
+  return b;
+}
+
+ResourceUsage ResourceModel::Estimate(
+    const Tiling& t,
+    const std::vector<const models::NetworkSpec*>& networks,
+    const FpgaDevice* device) const {
+  ResourceUsage u;
+  u.buffers = ComputeBuffers(t, networks);
+
+  // Eq. 18 aggregate bound.
+  const int64_t total_elems =
+      u.buffers.B_out + u.buffers.B_in + u.buffers.B_wgt;
+  u.bram36_eq18 = CeilDiv(total_elems * cal_.n_bit, 36 * 1024);
+
+  // Partitioned estimate: unrolled loop dims force array partitioning.
+  //  W_buf[Tm][Tn][K_size]: both m and n partitioned -> 2*Tm*Tn arrays.
+  //  I_buf[Tn][I_size]:     n partitioned            -> 2*Tn arrays.
+  //  O_buf[Tm][Td*Tr*Tc]:   m partitioned            -> 2*Tm arrays.
+  int64_t bram18 = 0;
+  bram18 += 2 * t.Tm * t.Tn * Bram18ForPartition(u.buffers.K_size, cal_.n_bit);
+  bram18 += 2 * t.Tn * Bram18ForPartition(u.buffers.I_size, cal_.n_bit);
+  bram18 += 2 * t.Tm *
+            Bram18ForPartition(t.Td * t.Tr * t.Tc, cal_.n_bit);
+  u.bram18_partitioned = bram18;
+  u.bram36_partitioned =
+      static_cast<double>(bram18) / 2.0 + cal_.misc_bram36;
+  if (device != nullptr) {
+    u.bram36_partitioned =
+        std::min(u.bram36_partitioned, static_cast<double>(device->bram36));
+    u.bram18_partitioned =
+        std::min(u.bram18_partitioned, 2 * device->bram36);
+  }
+
+  const int64_t macs = t.Tm * t.Tn;
+  u.dsp = macs + cal_.dsp_overhead_base + cal_.dsp_overhead_per_tn * t.Tn;
+  u.lut = static_cast<int64_t>(std::llround(cal_.lut_per_mac * macs));
+  u.ff = static_cast<int64_t>(
+      std::llround(cal_.ff_base + cal_.ff_per_mac * macs));
+  return u;
+}
+
+bool ResourceModel::Feasible(const ResourceUsage& usage,
+                             const FpgaDevice& device) const {
+  return usage.bram36_eq18 <= device.bram36 && usage.dsp <= device.dsp &&
+         usage.lut <= device.lut && usage.ff <= device.ff;
+}
+
+}  // namespace hwp3d::fpga

@@ -1,0 +1,87 @@
+// FPGA resource model (Section IV-B.1, Eqs. 14-18) plus calibrated
+// estimates for the Vivado-reported quantities of Table III.
+//
+// Two BRAM numbers are produced:
+//  * eq18: the paper's aggregate bound ceil((B_out+B_in+B_wgt)*Nbit/36K),
+//    used as the DSE feasibility constraint;
+//  * partitioned: an estimate of what Vivado reports after HLS array
+//    partitioning (each partition consumes whole BRAM18 primitives),
+//    with a documented constant for post-processing buffers / DMA FIFOs.
+//
+// DSP: Tm*Tn MACs plus a calibrated post-processing/control overhead.
+// LUT/FF: linear models calibrated to the paper's two design points.
+#pragma once
+
+#include <vector>
+
+#include "fpga/device.h"
+#include "fpga/tiling.h"
+#include "models/network_spec.h"
+
+namespace hwp3d::fpga {
+
+struct BufferSizes {
+  int64_t K_size = 0;  // max_i Kd*Kr*Kc (Eq. 17)
+  int64_t I_size = 0;  // max_i input-tile volume (Eq. 17)
+  int64_t B_out = 0;   // Eq. 14 (elements, double-buffered)
+  int64_t B_in = 0;    // Eq. 15
+  int64_t B_wgt = 0;   // Eq. 16
+};
+
+struct ResourceUsage {
+  BufferSizes buffers;
+  int64_t bram36_eq18 = 0;         // Eq. 18 left-hand side
+  int64_t bram18_partitioned = 0;  // partition-granularity estimate
+  double bram36_partitioned = 0.0; // bram18/2 (matches Vivado's x.5 counts)
+  int64_t dsp = 0;
+  int64_t lut = 0;
+  int64_t ff = 0;
+};
+
+class ResourceModel {
+ public:
+  struct Calibration {
+    int64_t n_bit = 16;          // 16-bit fixed point
+    // DSP overhead beyond the Tm*Tn MAC array: post-processing units
+    // (BN multiply-add, shortcut add) and address generation. Calibrated
+    // to Table III: overhead = base + per_tn * Tn.
+    int64_t dsp_overhead_base = 175;
+    int64_t dsp_overhead_per_tn = 1;
+    // LUT ~= per MAC (adder tree + PE control); FF = base + per MAC.
+    double lut_per_mac = 144.5;
+    double ff_base = 26000.0;
+    double ff_per_mac = 48.8;
+    // Partitioned-BRAM mapping: buffers partitioned along the unrolled
+    // dims (W: m and n; I: n; O: m), each partition occupying whole
+    // BRAM18s; constant extra for BN/bias/shortcut buffers, the
+    // block-enable bitmap and AXI FIFOs.
+    double misc_bram36 = 102.5;
+  };
+
+  ResourceModel() = default;
+  explicit ResourceModel(Calibration cal) : cal_(cal) {}
+
+  // Buffer sizes need the network-wide K_size/I_size maxima (Eq. 17);
+  // pass every network the bitstream must support.
+  BufferSizes ComputeBuffers(
+      const Tiling& t,
+      const std::vector<const models::NetworkSpec*>& networks) const;
+
+  // When `device` is given, the partitioned BRAM estimate is capped at
+  // the device's physical capacity: an over-subscribed estimate means
+  // Vivado maps the excess to LUTRAM/optimizes, reporting 100%
+  // utilization (exactly the paper's (64,16) row in Table III).
+  ResourceUsage Estimate(const Tiling& t,
+                         const std::vector<const models::NetworkSpec*>& networks,
+                         const FpgaDevice* device = nullptr) const;
+
+  // DSE feasibility: Eq. 18 BRAM bound and the DSP bound on the device.
+  bool Feasible(const ResourceUsage& usage, const FpgaDevice& device) const;
+
+  const Calibration& calibration() const { return cal_; }
+
+ private:
+  Calibration cal_;
+};
+
+}  // namespace hwp3d::fpga

@@ -1,0 +1,70 @@
+#include "fpga/scheduler.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace hwp3d::fpga {
+
+NetworkScheduler::NetworkScheduler(Tiling tiling, Ports ports,
+                                   FpgaDevice device, double freq_mhz)
+    : tiling_(tiling),
+      ports_(ports),
+      device_(std::move(device)),
+      freq_mhz_(freq_mhz > 0.0 ? freq_mhz : device_.default_freq_mhz) {}
+
+ResourceUsage NetworkScheduler::Resources(
+    const std::vector<const models::NetworkSpec*>& networks) const {
+  return resources_.Estimate(tiling_, networks);
+}
+
+NetworkPerfReport NetworkScheduler::Evaluate(const models::NetworkSpec& spec,
+                                             const SpecMasks* masks,
+                                             double ops_counted) const {
+  if (masks != nullptr) {
+    HWP_CHECK_MSG(masks->ptrs.size() == spec.layers.size(),
+                  "mask list does not match spec layers");
+  }
+  NetworkPerfReport r;
+  r.network = spec.name;
+  r.design = StrFormat("%s %s", device_.name.c_str(),
+                       tiling_.ToString().c_str());
+  r.freq_mhz = freq_mhz_;
+
+  PerfModel pm(tiling_, ports_);
+  for (size_t i = 0; i < spec.layers.size(); ++i) {
+    const core::BlockMask* mask = masks != nullptr ? masks->ptrs[i] : nullptr;
+    const LayerLatency lat = pm.LayerCycles(spec.layers[i], mask);
+    LayerBreakdown lb;
+    lb.name = spec.layers[i].name;
+    lb.group = spec.layers[i].group;
+    lb.cycles = lat.cycles;
+    lb.ms = lat.MsAt(freq_mhz_);
+    lb.blocks_loaded = lat.blocks_loaded;
+    lb.blocks_skipped = lat.blocks_skipped;
+    r.layers.push_back(lb);
+    r.total_cycles += lat.cycles;
+  }
+  r.latency_ms = static_cast<double>(r.total_cycles) / (freq_mhz_ * 1e3);
+
+  if (ops_counted > 0.0) {
+    r.ops_counted = ops_counted;
+  } else if (masks != nullptr) {
+    r.ops_counted = 2.0 * masks->kept_macs;  // surviving work only
+  } else {
+    r.ops_counted = spec.TotalOps();
+  }
+  r.throughput_gops = r.ops_counted / 1e9 / (r.latency_ms / 1e3);
+
+  const ResourceUsage usage = resources_.Estimate(tiling_, {&spec}, &device_);
+  r.power_w = power_.Estimate(usage);
+  r.power_eff_gops_w = r.throughput_gops / r.power_w;
+  r.dsp_used = usage.dsp;
+  r.dsp_utilization =
+      static_cast<double>(usage.dsp) / static_cast<double>(device_.dsp);
+  r.dsp_eff_gops_dsp = r.throughput_gops / static_cast<double>(usage.dsp);
+  r.bram36_used = usage.bram36_partitioned;
+  r.bram_utilization = r.bram36_used / static_cast<double>(device_.bram36);
+  return r;
+}
+
+}  // namespace hwp3d::fpga

@@ -1,0 +1,73 @@
+// NetworkScheduler: maps a whole network onto one accelerator design
+// point and produces the Table IV row quantities — latency, throughput,
+// power, power efficiency, DSP efficiency — plus a per-layer breakdown.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/device.h"
+#include "fpga/perf_model.h"
+#include "fpga/power_model.h"
+#include "fpga/resource_model.h"
+#include "fpga/spec_masks.h"
+
+namespace hwp3d::fpga {
+
+struct LayerBreakdown {
+  std::string name;
+  std::string group;
+  int64_t cycles = 0;
+  double ms = 0.0;
+  int64_t blocks_loaded = 0;
+  int64_t blocks_skipped = 0;
+};
+
+struct NetworkPerfReport {
+  std::string network;
+  std::string design;       // e.g. "ours (Tn=8)"
+  double freq_mhz = 150.0;
+  int64_t total_cycles = 0;
+  double latency_ms = 0.0;
+  // Work counted for throughput; by default the network's nominal ops
+  // (2 ops/MAC of the UNPRUNED model, as the paper reports for its own
+  // designs: pruned designs get credited only the surviving ops).
+  double ops_counted = 0.0;
+  double throughput_gops = 0.0;
+  double power_w = 0.0;
+  double power_eff_gops_w = 0.0;
+  int64_t dsp_used = 0;
+  double dsp_utilization = 0.0;   // fraction of device DSPs
+  double dsp_eff_gops_dsp = 0.0;
+  double bram36_used = 0.0;
+  double bram_utilization = 0.0;
+  std::vector<LayerBreakdown> layers;
+};
+
+class NetworkScheduler {
+ public:
+  NetworkScheduler(Tiling tiling, Ports ports, FpgaDevice device,
+                   double freq_mhz = 0.0 /* 0: device default */);
+
+  // Evaluates one network on this design point. `masks` may be null
+  // (unpruned). `ops_counted` overrides the throughput numerator; pass 0
+  // to use kept-ops (pruned) or total ops (unpruned) automatically.
+  NetworkPerfReport Evaluate(const models::NetworkSpec& spec,
+                             const SpecMasks* masks = nullptr,
+                             double ops_counted = 0.0) const;
+
+  const ResourceModel& resource_model() const { return resources_; }
+  const PowerModel& power_model() const { return power_; }
+  ResourceUsage Resources(
+      const std::vector<const models::NetworkSpec*>& networks) const;
+
+ private:
+  Tiling tiling_;
+  Ports ports_;
+  FpgaDevice device_;
+  double freq_mhz_;
+  ResourceModel resources_;
+  PowerModel power_;
+};
+
+}  // namespace hwp3d::fpga

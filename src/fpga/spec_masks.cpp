@@ -1,0 +1,45 @@
+#include "fpga/spec_masks.h"
+
+#include "common/rng.h"
+#include "core/projection.h"
+#include "tensor/init.h"
+
+namespace hwp3d::fpga {
+
+SpecMasks GenerateSpecMasks(const models::NetworkSpec& spec,
+                            core::BlockConfig block, uint64_t seed) {
+  SpecMasks out;
+  out.block = block;
+  Rng rng(seed);
+  out.storage.reserve(spec.layers.size());
+  for (const auto& l : spec.layers) {
+    const Shape wshape{l.M, l.N, l.Kd, l.Kr, l.Kc};
+    core::BlockPartition part(wshape, block);
+    if (l.eta <= 0.0) {
+      out.storage.push_back(part.FullMask());
+      out.kept_params += static_cast<double>(l.params());
+      out.kept_macs += l.macs();
+      continue;
+    }
+    // Same projection code path a trained model takes; random weights
+    // make the choice of surviving blocks uniform, which is all that
+    // matters for counting and for Eq. 24's per-row trip counts.
+    TensorF w(wshape);
+    FillNormal(w, rng, 0.0f, 1.0f);
+    core::ProjectionResult r = core::PlanBlockSparse(w, part, l.eta);
+    const int64_t kept = part.EnabledParams(r.mask);
+    out.kept_params += static_cast<double>(kept);
+    out.kept_macs += static_cast<double>(kept) *
+                     static_cast<double>(l.D * l.R * l.C);
+    out.storage.push_back(std::move(r.mask));
+  }
+  // Build the pointer view: null for layers without pruning so the dense
+  // path (no per-row accounting) is used.
+  out.ptrs.reserve(spec.layers.size());
+  for (size_t i = 0; i < spec.layers.size(); ++i) {
+    out.ptrs.push_back(spec.layers[i].eta > 0.0 ? &out.storage[i] : nullptr);
+  }
+  return out;
+}
+
+}  // namespace hwp3d::fpga

@@ -1,0 +1,37 @@
+// Block-mask synthesis for analytic (full-size) network specs.
+//
+// The full-size R(2+1)D has no trained weights in this repo, but the
+// latency and Table II numbers only depend on WHICH blocks survive, not
+// their values. We therefore materialize each prunable layer with random
+// weights and run the real projection (Eq. 13) on it — the same code path
+// a trained model would take — yielding masks with exactly
+// ceil((1-eta) * B) surviving blocks, including the edge-block effects
+// that make achieved pruning rates deviate slightly from 1/(1-eta).
+#pragma once
+
+#include <vector>
+
+#include "core/block_partition.h"
+#include "models/network_spec.h"
+
+namespace hwp3d::fpga {
+
+struct SpecMasks {
+  // Block config the masks were generated for; they only apply to a
+  // PerfModel with the same (Tm, Tn).
+  core::BlockConfig block;
+  // One mask per spec layer; layers with eta == 0 get a full mask.
+  std::vector<core::BlockMask> storage;
+  // Pointer view for PerfModel::NetworkCycles (nullptr for full masks so
+  // unpruned layers take the dense fast path).
+  std::vector<const core::BlockMask*> ptrs;
+
+  // Parameters and MACs surviving under the masks.
+  double kept_params = 0.0;
+  double kept_macs = 0.0;
+};
+
+SpecMasks GenerateSpecMasks(const models::NetworkSpec& spec,
+                            core::BlockConfig block, uint64_t seed = 42);
+
+}  // namespace hwp3d::fpga

@@ -1,0 +1,14 @@
+#include "fpga/tiling.h"
+
+#include "common/strings.h"
+
+namespace hwp3d::fpga {
+
+std::string Tiling::ToString() const {
+  return StrFormat("(Tm=%lld, Tn=%lld, Td=%lld, Tr=%lld, Tc=%lld)",
+                   static_cast<long long>(Tm), static_cast<long long>(Tn),
+                   static_cast<long long>(Td), static_cast<long long>(Tr),
+                   static_cast<long long>(Tc));
+}
+
+}  // namespace hwp3d::fpga

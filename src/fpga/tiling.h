@@ -1,0 +1,42 @@
+// Tiling configuration of the accelerator (Section IV-B).
+//
+// Five tiling factors (Tm, Tn, Td, Tr, Tc) tile the output channels,
+// input channels, and the three feature-map dimensions. (Tm, Tn) is also
+// the pruning block size — the co-design at the heart of the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/block_partition.h"
+
+namespace hwp3d::fpga {
+
+struct Tiling {
+  int64_t Tm = 64;
+  int64_t Tn = 8;
+  int64_t Td = 4;
+  int64_t Tr = 14;
+  int64_t Tc = 14;
+
+  core::BlockConfig block() const { return {Tm, Tn}; }
+  std::string ToString() const;
+};
+
+// Memory-port widths in elements transferred per cycle for weights,
+// input features, and output features (p_wgt, p_in, p_out in Eqs. 19-21).
+// `double_buffered` models the paper's ping-pong buffers: loads overlap
+// compute (Eq. 23's max); turning it off serializes load -> compute ->
+// store, the ablation baseline.
+struct Ports {
+  int64_t p_wgt = 8;
+  int64_t p_in = 8;
+  int64_t p_out = 8;
+  bool double_buffered = true;
+};
+
+// The two design points evaluated in the paper.
+inline Tiling PaperTilingTn8() { return {64, 8, 4, 14, 14}; }
+inline Tiling PaperTilingTn16() { return {64, 16, 4, 14, 14}; }
+
+}  // namespace hwp3d::fpga

@@ -1,0 +1,218 @@
+#include "models/network_spec.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hwp3d::models {
+
+double NetworkSpec::TotalParams() const {
+  double s = 0.0;
+  for (const auto& l : layers) s += static_cast<double>(l.params());
+  return s;
+}
+
+double NetworkSpec::TotalMacs() const {
+  double s = 0.0;
+  for (const auto& l : layers) s += l.macs();
+  return s;
+}
+
+double NetworkSpec::TotalOps() const {
+  double s = 0.0;
+  for (const auto& l : layers) s += l.ops();
+  return s;
+}
+
+double NetworkSpec::GroupParams(const std::string& group) const {
+  double s = 0.0;
+  for (const auto& l : layers)
+    if (l.group == group) s += static_cast<double>(l.params());
+  return s;
+}
+
+double NetworkSpec::GroupOps(const std::string& group) const {
+  double s = 0.0;
+  for (const auto& l : layers)
+    if (l.group == group) s += l.ops();
+  return s;
+}
+
+std::vector<std::string> NetworkSpec::Groups() const {
+  std::vector<std::string> out;
+  for (const auto& l : layers) {
+    if (std::find(out.begin(), out.end(), l.group) == out.end()) {
+      out.push_back(l.group);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Appends the factorized (2+1)D pair: spatial 1xkxk conv into `mid`
+// channels (carrying the spatial stride), then temporal tx1x1 conv
+// (carrying the temporal stride). `out_*` are the extents AFTER both.
+void AddConv2Plus1d(NetworkSpec& spec, const std::string& name,
+                    const std::string& group, int64_t in_ch, int64_t mid,
+                    int64_t out_ch, int64_t out_d, int64_t out_hw,
+                    int64_t spatial_stride, int64_t temporal_stride,
+                    int64_t spatial_k = 3, int64_t temporal_k = 3,
+                    bool shortcut_add_on_temporal = false) {
+  // The spatial conv runs at the un-decimated temporal depth.
+  const int64_t mid_d = out_d * temporal_stride;
+  ConvLayerSpec sp;
+  sp.name = name + "_spatial";
+  sp.group = group;
+  sp.M = mid;
+  sp.N = in_ch;
+  sp.Kd = 1;
+  sp.Kr = sp.Kc = spatial_k;
+  sp.Sd = 1;
+  sp.Sr = sp.Sc = spatial_stride;
+  sp.D = mid_d;
+  sp.R = sp.C = out_hw;
+  spec.layers.push_back(sp);
+
+  ConvLayerSpec tp;
+  tp.name = name + "_temporal";
+  tp.group = group;
+  tp.M = out_ch;
+  tp.N = mid;
+  tp.Kd = temporal_k;
+  tp.Kr = tp.Kc = 1;
+  tp.Sd = temporal_stride;
+  tp.Sr = tp.Sc = 1;
+  tp.D = out_d;
+  tp.R = tp.C = out_hw;
+  tp.has_shortcut_add = shortcut_add_on_temporal;
+  spec.layers.push_back(tp);
+}
+
+// Appends one residual stage of Table I: two residual blocks, each with
+// two (2+1)D convs; the first block of a down-sampling stage strides and
+// projects the shortcut with a 1x1x1 convolution.
+void AddResidualStage(NetworkSpec& spec, const std::string& group,
+                      int64_t in_ch, int64_t out_ch, int64_t mid_first,
+                      int64_t mid_rest, int64_t out_d, int64_t out_hw,
+                      bool downsample) {
+  const int64_t stride = downsample ? 2 : 1;
+  // Block 1.
+  AddConv2Plus1d(spec, group + "_1a", group, in_ch, mid_first, out_ch, out_d,
+                 out_hw, stride, stride);
+  AddConv2Plus1d(spec, group + "_1b", group, out_ch, mid_rest, out_ch, out_d,
+                 out_hw, 1, 1, 3, 3, /*shortcut_add_on_temporal=*/true);
+  if (downsample || in_ch != out_ch) {
+    ConvLayerSpec sc;
+    sc.name = group + "_shortcut";
+    sc.group = group;
+    sc.M = out_ch;
+    sc.N = in_ch;
+    sc.Kd = sc.Kr = sc.Kc = 1;
+    sc.Sd = sc.Sr = sc.Sc = stride;
+    sc.D = out_d;
+    sc.R = sc.C = out_hw;
+    sc.has_relu = false;
+    spec.layers.push_back(sc);
+  }
+  // Block 2 (identity shortcut).
+  AddConv2Plus1d(spec, group + "_2a", group, out_ch, mid_rest, out_ch, out_d,
+                 out_hw, 1, 1);
+  AddConv2Plus1d(spec, group + "_2b", group, out_ch, mid_rest, out_ch, out_d,
+                 out_hw, 1, 1, 3, 3, /*shortcut_add_on_temporal=*/true);
+}
+
+}  // namespace
+
+NetworkSpec MakeR2Plus1DSpec() {
+  NetworkSpec spec;
+  spec.name = "R(2+1)D";
+  spec.in_channels = 3;
+  spec.in_frames = 16;
+  spec.in_height = spec.in_width = 112;
+  spec.num_classes = 101;
+
+  // conv1: [1x7x7, 45] stride (1,2,2), then [3x1x1, 64]  ->  16x56x56.
+  {
+    ConvLayerSpec sp;
+    sp.name = "conv1_spatial";
+    sp.group = "conv1";
+    sp.M = 45;
+    sp.N = 3;
+    sp.Kd = 1;
+    sp.Kr = sp.Kc = 7;
+    sp.Sd = 1;
+    sp.Sr = sp.Sc = 2;
+    sp.D = 16;
+    sp.R = sp.C = 56;
+    spec.layers.push_back(sp);
+
+    ConvLayerSpec tp;
+    tp.name = "conv1_temporal";
+    tp.group = "conv1";
+    tp.M = 64;
+    tp.N = 45;
+    tp.Kd = 3;
+    tp.Kr = tp.Kc = 1;
+    tp.Sd = tp.Sr = tp.Sc = 1;
+    tp.D = 16;
+    tp.R = tp.C = 56;
+    spec.layers.push_back(tp);
+  }
+
+  // Table I mid-channel counts: 144 (conv2), 230/288 (conv3),
+  // 460/576 (conv4), 921/1152 (conv5).
+  AddResidualStage(spec, "conv2_x", 64, 64, 144, 144, 16, 56, false);
+  AddResidualStage(spec, "conv3_x", 64, 128, 230, 288, 8, 28, true);
+  AddResidualStage(spec, "conv4_x", 128, 256, 460, 576, 4, 14, true);
+  AddResidualStage(spec, "conv5_x", 256, 512, 921, 1152, 2, 7, true);
+  return spec;
+}
+
+NetworkSpec MakeC3DSpec() {
+  NetworkSpec spec;
+  spec.name = "C3D";
+  spec.in_channels = 3;
+  spec.in_frames = 16;
+  spec.in_height = spec.in_width = 112;
+  spec.num_classes = 101;
+
+  struct Cfg {
+    const char* name;
+    const char* group;
+    int64_t in_ch, out_ch, d, hw;
+  };
+  // Extents follow the standard C3D pooling pyramid on 16x112x112 input.
+  const Cfg cfgs[] = {
+      {"conv1a", "conv1", 3, 64, 16, 112},   {"conv2a", "conv2", 64, 128, 16, 56},
+      {"conv3a", "conv3", 128, 256, 8, 28},  {"conv3b", "conv3", 256, 256, 8, 28},
+      {"conv4a", "conv4", 256, 512, 4, 14},  {"conv4b", "conv4", 512, 512, 4, 14},
+      {"conv5a", "conv5", 512, 512, 2, 7},   {"conv5b", "conv5", 512, 512, 2, 7},
+  };
+  for (const Cfg& c : cfgs) {
+    ConvLayerSpec l;
+    l.name = c.name;
+    l.group = c.group;
+    l.M = c.out_ch;
+    l.N = c.in_ch;
+    l.Kd = l.Kr = l.Kc = 3;
+    l.Sd = l.Sr = l.Sc = 1;
+    l.D = c.d;
+    l.R = l.C = c.hw;
+    l.has_bn = false;  // C3D uses bias + ReLU, no batch norm
+    spec.layers.push_back(l);
+  }
+  return spec;
+}
+
+void ApplyPaperPruningTargets(NetworkSpec& spec) {
+  for (auto& l : spec.layers) {
+    if (l.group == "conv2_x") {
+      l.eta = 0.90;
+    } else if (l.group == "conv3_x") {
+      l.eta = 0.80;
+    }
+  }
+}
+
+}  // namespace hwp3d::models

@@ -1,0 +1,85 @@
+// Analytic layer-by-layer network descriptions.
+//
+// A NetworkSpec captures exactly what the paper's evaluation needs from a
+// network: every CONV layer's 5-D weight geometry W[M][N][Kd][Kr][Kc],
+// strides, and *output* feature-map extents (D, R, C), grouped by the
+// residual stage names of Table I. From this we derive parameter counts
+// and operation counts (Table II), and the FPGA performance/resource
+// models map each layer onto the tiled accelerator (Tables III & IV).
+//
+// The full-size specs are analytic only — no trained weights exist for
+// them in this repo; the trainable counterpart is models/tiny_r2plus1d.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hwp3d::models {
+
+// One convolutional layer, as the accelerator sees it.
+struct ConvLayerSpec {
+  std::string name;   // e.g. "conv2_1a_spatial"
+  std::string group;  // Table I grouping: conv1, conv2_x, ... conv5_x
+  int64_t M = 0;      // output channels
+  int64_t N = 0;      // input channels
+  int64_t Kd = 1, Kr = 1, Kc = 1;  // kernel extents (temporal, height, width)
+  int64_t Sd = 1, Sr = 1, Sc = 1;  // strides
+  int64_t D = 0, R = 0, C = 0;     // OUTPUT feature-map extents
+  // Target blockwise pruning ratio eta_i in [0,1); 0 means unpruned.
+  double eta = 0.0;
+  // Layers with a post-op handled by the post-processing unit.
+  bool has_bn = true;
+  bool has_relu = true;
+  bool has_shortcut_add = false;
+
+  int64_t params() const { return M * N * Kd * Kr * Kc; }
+  // Multiply-accumulate count for one inference.
+  double macs() const {
+    return static_cast<double>(params()) * static_cast<double>(D * R * C);
+  }
+  // Operations counted as 2 ops per MAC (multiply + add), the convention
+  // of the paper's Table II.
+  double ops() const { return 2.0 * macs(); }
+  // Input feature-map extents implied by output extents and stride/kernel
+  // (valid-padding accelerator view: I = (O-1)*S + K).
+  int64_t in_d() const { return (D - 1) * Sd + Kd; }
+  int64_t in_r() const { return (R - 1) * Sr + Kr; }
+  int64_t in_c() const { return (C - 1) * Sc + Kc; }
+};
+
+struct NetworkSpec {
+  std::string name;
+  // Input clip: channels x frames x height x width.
+  int64_t in_channels = 3;
+  int64_t in_frames = 16;
+  int64_t in_height = 112;
+  int64_t in_width = 112;
+  int64_t num_classes = 101;
+  std::vector<ConvLayerSpec> layers;
+
+  double TotalParams() const;
+  double TotalMacs() const;
+  double TotalOps() const;
+  // Sum of params/ops over layers whose group matches.
+  double GroupParams(const std::string& group) const;
+  double GroupOps(const std::string& group) const;
+  std::vector<std::string> Groups() const;  // in first-appearance order
+};
+
+// Full-size R(2+1)D of Table I: 16x112x112 input, 5 stages, mid-channel
+// counts from the parameter-matching formula (144/230/288/460/576/921/
+// 1152 as printed in Table I). Stage shortcuts are modeled as a single
+// 1x1x1 strided convolution (this matches the paper's per-stage parameter
+// totals; see DESIGN.md).
+NetworkSpec MakeR2Plus1DSpec();
+
+// Standard C3D (Tran et al.; FPGA baseline of [13]): eight 3x3x3 CONV
+// layers with interleaved max-pooling, 16x112x112 input.
+NetworkSpec MakeC3DSpec();
+
+// Applies the paper's pruning targets: eta = 0.90 for conv2_x layers and
+// eta = 0.80 for conv3_x layers (pruning rates 10x and 5x).
+void ApplyPaperPruningTargets(NetworkSpec& spec);
+
+}  // namespace hwp3d::models

@@ -1,0 +1,22 @@
+// Element-wise activation layers.
+#pragma once
+
+#include "nn/module.h"
+
+namespace hwp3d::nn {
+
+// Rectified linear unit. Works on tensors of any rank.
+class ReLU : public Module {
+ public:
+  explicit ReLU(std::string name = "relu") : name_(std::move(name)) {}
+
+  TensorF Forward(const TensorF& x, bool train) override;
+  TensorF Backward(const TensorF& dy) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  TensorF cached_input_;
+};
+
+}  // namespace hwp3d::nn

@@ -1,0 +1,79 @@
+#include "nn/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.h"
+#include "tensor/serialize.h"
+
+namespace hwp3d::nn {
+namespace {
+
+constexpr char kMagic[4] = {'H', 'W', 'P', 'C'};
+constexpr uint32_t kVersion = 1;
+
+void WriteString(std::ostream& os, const std::string& s) {
+  const uint32_t len = static_cast<uint32_t>(s.size());
+  os.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string ReadString(std::istream& is) {
+  uint32_t len = 0;
+  is.read(reinterpret_cast<char*>(&len), sizeof(len));
+  HWP_CHECK_MSG(static_cast<bool>(is) && len < (1u << 20),
+                "corrupt checkpoint string");
+  std::string s(len, '\0');
+  is.read(s.data(), len);
+  HWP_CHECK_MSG(static_cast<bool>(is), "truncated checkpoint string");
+  return s;
+}
+
+}  // namespace
+
+void SaveCheckpoint(const std::string& path, Module& model) {
+  std::ofstream os(path, std::ios::binary);
+  HWP_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  os.write(kMagic, 4);
+  os.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  const auto params = model.Params();
+  const uint64_t count = params.size();
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (Param* p : params) {
+    WriteString(os, p->name);
+    WriteTensor(os, p->value);
+  }
+  HWP_CHECK_MSG(static_cast<bool>(os), "checkpoint write failed");
+}
+
+void LoadCheckpoint(const std::string& path, Module& model) {
+  std::ifstream is(path, std::ios::binary);
+  HWP_CHECK_MSG(is.is_open(), "cannot open " << path << " for reading");
+  char magic[4];
+  is.read(magic, 4);
+  HWP_CHECK_MSG(static_cast<bool>(is) && std::memcmp(magic, kMagic, 4) == 0,
+                "bad checkpoint magic in " << path);
+  uint32_t version = 0;
+  is.read(reinterpret_cast<char*>(&version), sizeof(version));
+  HWP_CHECK_MSG(version == kVersion, "unsupported checkpoint version");
+  uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  const auto params = model.Params();
+  HWP_CHECK_MSG(count == params.size(),
+                "checkpoint has " << count << " params, model expects "
+                                  << params.size());
+  for (Param* p : params) {
+    const std::string name = ReadString(is);
+    HWP_CHECK_MSG(name == p->name, "checkpoint param '"
+                                       << name << "' does not match model '"
+                                       << p->name << "'");
+    TensorF value = ReadTensor(is);
+    HWP_SHAPE_CHECK_MSG(value.shape() == p->value.shape(),
+                        p->name << ": checkpoint shape "
+                                << value.shape().ToString() << " vs model "
+                                << p->value.shape().ToString());
+    p->value = std::move(value);
+  }
+}
+
+}  // namespace hwp3d::nn

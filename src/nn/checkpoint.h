@@ -1,0 +1,20 @@
+// Whole-model checkpointing: saves/loads every Param of a Module (in
+// CollectParams order) to a single binary file, so a pruned/retrained
+// model can be stored and later compiled onto the accelerator without
+// retraining. Format: magic "HWPC", u32 version, u64 count, then each
+// param as a name-length-prefixed string + tensor (see tensor/serialize).
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace hwp3d::nn {
+
+void SaveCheckpoint(const std::string& path, Module& model);
+
+// Loads into an identically-structured model: every param must match by
+// name and shape, in order. Throws Error on any mismatch.
+void LoadCheckpoint(const std::string& path, Module& model);
+
+}  // namespace hwp3d::nn

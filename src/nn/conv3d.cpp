@@ -1,0 +1,185 @@
+#include "nn/conv3d.h"
+
+#include "common/parallel.h"
+#include "tensor/init.h"
+
+namespace hwp3d::nn {
+
+Conv3d::Conv3d(Conv3dConfig cfg, Rng& rng, std::string name)
+    : cfg_(cfg),
+      name_(std::move(name)),
+      weight_(name_ + ".weight",
+              Shape{cfg.out_channels, cfg.in_channels, cfg.kernel[0],
+                    cfg.kernel[1], cfg.kernel[2]}),
+      bias_(name_ + ".bias", Shape{cfg.out_channels}) {
+  HWP_CHECK_MSG(cfg.in_channels > 0 && cfg.out_channels > 0,
+                "Conv3d needs positive channel counts");
+  for (int a = 0; a < 3; ++a) {
+    HWP_CHECK_MSG(cfg.kernel[static_cast<size_t>(a)] > 0 &&
+                      cfg.stride[static_cast<size_t>(a)] > 0 &&
+                      cfg.padding[static_cast<size_t>(a)] >= 0,
+                  "Conv3d invalid kernel/stride/padding on axis " << a);
+  }
+  const int64_t fan_in =
+      cfg.in_channels * cfg.kernel[0] * cfg.kernel[1] * cfg.kernel[2];
+  FillKaiming(weight_.value, rng, fan_in);
+  bias_.value.Fill(0.0f);
+}
+
+TensorF Conv3d::Forward(const TensorF& x, bool train) {
+  HWP_SHAPE_CHECK_MSG(x.rank() == 5, name_ << ": input must be rank-5, got "
+                                           << x.shape().ToString());
+  HWP_SHAPE_CHECK_MSG(x.dim(1) == cfg_.in_channels,
+                      name_ << ": expected " << cfg_.in_channels
+                            << " input channels, got " << x.dim(1));
+  const int64_t B = x.dim(0), N = cfg_.in_channels, M = cfg_.out_channels;
+  const int64_t Di = x.dim(2), Hi = x.dim(3), Wi = x.dim(4);
+  const auto [Kd, Kh, Kw] = cfg_.kernel;
+  const auto [Sd, Sh, Sw] = cfg_.stride;
+  const auto [Pd, Ph, Pw] = cfg_.padding;
+  const int64_t Do = OutExtent(Di, Kd, Sd, Pd);
+  const int64_t Ho = OutExtent(Hi, Kh, Sh, Ph);
+  const int64_t Wo = OutExtent(Wi, Kw, Sw, Pw);
+  HWP_SHAPE_CHECK_MSG(Do > 0 && Ho > 0 && Wo > 0,
+                      name_ << ": empty output for input "
+                            << x.shape().ToString());
+
+  TensorF y(Shape{B, M, Do, Ho, Wo});
+  const TensorF& w = weight_.value;
+  const TensorF& bias = bias_.value;
+  const bool has_bias = cfg_.bias;
+
+  ParallelFor(0, B * M, [&](int64_t bm) {
+    const int64_t b = bm / M;
+    const int64_t m = bm % M;
+    for (int64_t od = 0; od < Do; ++od) {
+      for (int64_t oh = 0; oh < Ho; ++oh) {
+        for (int64_t ow = 0; ow < Wo; ++ow) {
+          double acc = has_bias ? bias[m] : 0.0;
+          for (int64_t n = 0; n < N; ++n) {
+            for (int64_t kd = 0; kd < Kd; ++kd) {
+              const int64_t id = od * Sd + kd - Pd;
+              if (id < 0 || id >= Di) continue;
+              for (int64_t kh = 0; kh < Kh; ++kh) {
+                const int64_t ih = oh * Sh + kh - Ph;
+                if (ih < 0 || ih >= Hi) continue;
+                for (int64_t kw = 0; kw < Kw; ++kw) {
+                  const int64_t iw = ow * Sw + kw - Pw;
+                  if (iw < 0 || iw >= Wi) continue;
+                  acc += static_cast<double>(w(m, n, kd, kh, kw)) *
+                         x(b, n, id, ih, iw);
+                }
+              }
+            }
+          }
+          y(b, m, od, oh, ow) = static_cast<float>(acc);
+        }
+      }
+    }
+  });
+
+  if (train) cached_input_ = x;
+  return y;
+}
+
+TensorF Conv3d::Backward(const TensorF& dy) {
+  const TensorF& x = cached_input_;
+  HWP_CHECK_MSG(!x.empty(), name_ << ": Backward before Forward(train=true)");
+  const int64_t B = x.dim(0), N = cfg_.in_channels, M = cfg_.out_channels;
+  const int64_t Di = x.dim(2), Hi = x.dim(3), Wi = x.dim(4);
+  const auto [Kd, Kh, Kw] = cfg_.kernel;
+  const auto [Sd, Sh, Sw] = cfg_.stride;
+  const auto [Pd, Ph, Pw] = cfg_.padding;
+  const int64_t Do = dy.dim(2), Ho = dy.dim(3), Wo = dy.dim(4);
+  HWP_SHAPE_CHECK_MSG(dy.dim(0) == B && dy.dim(1) == M,
+                      name_ << ": bad grad shape " << dy.shape().ToString());
+
+  const TensorF& w = weight_.value;
+  TensorF& dw = weight_.grad;
+  TensorF dx(x.shape());
+
+  // dW: parallel over output channel m — each m owns a disjoint slice of dW.
+  ParallelFor(0, M, [&](int64_t m) {
+    for (int64_t n = 0; n < N; ++n) {
+      for (int64_t kd = 0; kd < Kd; ++kd) {
+        for (int64_t kh = 0; kh < Kh; ++kh) {
+          for (int64_t kw = 0; kw < Kw; ++kw) {
+            double acc = 0.0;
+            for (int64_t b = 0; b < B; ++b) {
+              for (int64_t od = 0; od < Do; ++od) {
+                const int64_t id = od * Sd + kd - Pd;
+                if (id < 0 || id >= Di) continue;
+                for (int64_t oh = 0; oh < Ho; ++oh) {
+                  const int64_t ih = oh * Sh + kh - Ph;
+                  if (ih < 0 || ih >= Hi) continue;
+                  for (int64_t ow = 0; ow < Wo; ++ow) {
+                    const int64_t iw = ow * Sw + kw - Pw;
+                    if (iw < 0 || iw >= Wi) continue;
+                    acc += static_cast<double>(dy(b, m, od, oh, ow)) *
+                           x(b, n, id, ih, iw);
+                  }
+                }
+              }
+            }
+            dw(m, n, kd, kh, kw) += static_cast<float>(acc);
+          }
+        }
+      }
+    }
+  });
+
+  if (cfg_.bias) {
+    TensorF& db = bias_.grad;
+    for (int64_t m = 0; m < M; ++m) {
+      double acc = 0.0;
+      for (int64_t b = 0; b < B; ++b) {
+        for (int64_t od = 0; od < Do; ++od) {
+          for (int64_t oh = 0; oh < Ho; ++oh) {
+            for (int64_t ow = 0; ow < Wo; ++ow) {
+              acc += dy(b, m, od, oh, ow);
+            }
+          }
+        }
+      }
+      db[m] += static_cast<float>(acc);
+    }
+  }
+
+  // dX: parallel over batch — each b owns a disjoint slice of dx.
+  ParallelFor(0, B, [&](int64_t b) {
+    for (int64_t m = 0; m < M; ++m) {
+      for (int64_t od = 0; od < Do; ++od) {
+        for (int64_t oh = 0; oh < Ho; ++oh) {
+          for (int64_t ow = 0; ow < Wo; ++ow) {
+            const float g = dy(b, m, od, oh, ow);
+            if (g == 0.0f) continue;
+            for (int64_t n = 0; n < N; ++n) {
+              for (int64_t kd = 0; kd < Kd; ++kd) {
+                const int64_t id = od * Sd + kd - Pd;
+                if (id < 0 || id >= Di) continue;
+                for (int64_t kh = 0; kh < Kh; ++kh) {
+                  const int64_t ih = oh * Sh + kh - Ph;
+                  if (ih < 0 || ih >= Hi) continue;
+                  for (int64_t kw = 0; kw < Kw; ++kw) {
+                    const int64_t iw = ow * Sw + kw - Pw;
+                    if (iw < 0 || iw >= Wi) continue;
+                    dx(b, n, id, ih, iw) += g * w(m, n, kd, kh, kw);
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+
+  return dx;
+}
+
+void Conv3d::CollectParams(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  if (cfg_.bias) out.push_back(&bias_);
+}
+
+}  // namespace hwp3d::nn

@@ -1,0 +1,52 @@
+// Conv3d: 3D convolution with per-dimension kernel/stride/padding.
+//
+// Weight layout is the paper's 5-D tensor W[M][N][Kd][Kr][Kc] (output
+// channels, input channels, temporal depth, height, width). This layout is
+// shared verbatim with the pruning core (blockwise partition over M x N)
+// and the FPGA tile simulator, so a pruned nn::Conv3d weight can be handed
+// to the accelerator without any transposition.
+#pragma once
+
+#include <array>
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace hwp3d::nn {
+
+struct Conv3dConfig {
+  int64_t in_channels = 0;   // N
+  int64_t out_channels = 0;  // M
+  std::array<int64_t, 3> kernel = {1, 1, 1};   // Kd, Kr, Kc
+  std::array<int64_t, 3> stride = {1, 1, 1};   // Sd, Sr, Sc
+  std::array<int64_t, 3> padding = {0, 0, 0};  // Pd, Pr, Pc
+  bool bias = true;
+};
+
+class Conv3d : public Module {
+ public:
+  Conv3d(Conv3dConfig cfg, Rng& rng, std::string name = "conv3d");
+
+  TensorF Forward(const TensorF& x, bool train) override;
+  TensorF Backward(const TensorF& dy) override;
+  void CollectParams(std::vector<Param*>& out) override;
+  std::string name() const override { return name_; }
+
+  const Conv3dConfig& config() const { return cfg_; }
+  Param& weight() { return weight_; }
+  Param* bias() { return cfg_.bias ? &bias_ : nullptr; }
+
+  // Output spatial extents for a given input extent along one axis.
+  static int64_t OutExtent(int64_t in, int64_t k, int64_t s, int64_t p) {
+    return (in + 2 * p - k) / s + 1;
+  }
+
+ private:
+  Conv3dConfig cfg_;
+  std::string name_;
+  Param weight_;  // [M][N][Kd][Kr][Kc]
+  Param bias_;    // [M]
+  TensorF cached_input_;
+};
+
+}  // namespace hwp3d::nn

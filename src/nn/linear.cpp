@@ -1,0 +1,70 @@
+#include "nn/linear.h"
+
+#include "tensor/init.h"
+
+namespace hwp3d::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng,
+               std::string name)
+    : in_features_(in_features),
+      out_features_(out_features),
+      name_(std::move(name)),
+      weight_(name_ + ".weight", Shape{out_features, in_features}),
+      bias_(name_ + ".bias", Shape{out_features}) {
+  HWP_CHECK_MSG(in_features > 0 && out_features > 0,
+                "Linear needs positive feature counts");
+  FillXavier(weight_.value, rng, in_features, out_features);
+  bias_.value.Fill(0.0f);
+}
+
+TensorF Linear::Forward(const TensorF& x, bool train) {
+  HWP_SHAPE_CHECK_MSG(x.rank() == 2 && x.dim(1) == in_features_,
+                      name_ << ": bad input " << x.shape().ToString());
+  const int64_t B = x.dim(0);
+  TensorF y(Shape{B, out_features_});
+  for (int64_t b = 0; b < B; ++b)
+    for (int64_t o = 0; o < out_features_; ++o) {
+      double acc = bias_.value[o];
+      for (int64_t i = 0; i < in_features_; ++i)
+        acc += static_cast<double>(weight_.value(o, i)) * x(b, i);
+      y(b, o) = static_cast<float>(acc);
+    }
+  if (train) cached_input_ = x;
+  return y;
+}
+
+TensorF Linear::Backward(const TensorF& dy) {
+  const TensorF& x = cached_input_;
+  HWP_CHECK_MSG(!x.empty(), name_ << ": Backward before Forward(train=true)");
+  const int64_t B = x.dim(0);
+  HWP_SHAPE_CHECK_MSG(dy.rank() == 2 && dy.dim(0) == B &&
+                          dy.dim(1) == out_features_,
+                      name_ << ": bad grad shape " << dy.shape().ToString());
+  for (int64_t o = 0; o < out_features_; ++o) {
+    double db = 0.0;
+    for (int64_t b = 0; b < B; ++b) db += dy(b, o);
+    bias_.grad[o] += static_cast<float>(db);
+    for (int64_t i = 0; i < in_features_; ++i) {
+      double dw = 0.0;
+      for (int64_t b = 0; b < B; ++b)
+        dw += static_cast<double>(dy(b, o)) * x(b, i);
+      weight_.grad(o, i) += static_cast<float>(dw);
+    }
+  }
+  TensorF dx(x.shape());
+  for (int64_t b = 0; b < B; ++b)
+    for (int64_t i = 0; i < in_features_; ++i) {
+      double acc = 0.0;
+      for (int64_t o = 0; o < out_features_; ++o)
+        acc += static_cast<double>(dy(b, o)) * weight_.value(o, i);
+      dx(b, i) = static_cast<float>(acc);
+    }
+  return dx;
+}
+
+void Linear::CollectParams(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+}  // namespace hwp3d::nn

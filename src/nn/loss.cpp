@@ -1,0 +1,65 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hwp3d::nn {
+
+TensorF Softmax(const TensorF& logits) {
+  HWP_SHAPE_CHECK_MSG(logits.rank() == 2, "Softmax expects [B][K]");
+  const int64_t B = logits.dim(0), K = logits.dim(1);
+  TensorF p(logits.shape());
+  for (int64_t b = 0; b < B; ++b) {
+    float mx = logits(b, 0);
+    for (int64_t k = 1; k < K; ++k) mx = std::max(mx, logits(b, k));
+    double denom = 0.0;
+    for (int64_t k = 0; k < K; ++k) {
+      const double e = std::exp(static_cast<double>(logits(b, k)) - mx);
+      p(b, k) = static_cast<float>(e);
+      denom += e;
+    }
+    for (int64_t k = 0; k < K; ++k)
+      p(b, k) = static_cast<float>(p(b, k) / denom);
+  }
+  return p;
+}
+
+LossResult SoftmaxCrossEntropy(const TensorF& logits,
+                               const std::vector<int>& labels,
+                               float smoothing) {
+  HWP_SHAPE_CHECK_MSG(logits.rank() == 2, "loss expects [B][K] logits");
+  const int64_t B = logits.dim(0), K = logits.dim(1);
+  HWP_CHECK_MSG(static_cast<int64_t>(labels.size()) == B,
+                "labels size " << labels.size() << " vs batch " << B);
+  HWP_CHECK_MSG(smoothing >= 0.0f && smoothing < 1.0f,
+                "smoothing must be in [0,1)");
+
+  LossResult out;
+  out.grad = TensorF(logits.shape());
+  const TensorF p = Softmax(logits);
+  const float off_target = smoothing / static_cast<float>(K);
+  const float on_target = 1.0f - smoothing + off_target;
+
+  double total = 0.0;
+  for (int64_t b = 0; b < B; ++b) {
+    const int y = labels[static_cast<size_t>(b)];
+    HWP_CHECK_MSG(y >= 0 && y < K, "label " << y << " out of range");
+    // loss = -sum_k t_k log p_k with t the smoothed target distribution.
+    for (int64_t k = 0; k < K; ++k) {
+      const float t = (k == y) ? on_target : off_target;
+      const double logp =
+          std::log(std::max(static_cast<double>(p(b, k)), 1e-12));
+      total -= t * logp;
+      out.grad(b, k) = (p(b, k) - t) / static_cast<float>(B);
+    }
+    int64_t am = 0;
+    for (int64_t k = 1; k < K; ++k)
+      if (logits(b, k) > logits(b, am)) am = k;
+    if (am == y) ++out.correct;
+  }
+  out.loss = static_cast<float>(total / B);
+  return out;
+}
+
+}  // namespace hwp3d::nn

@@ -1,0 +1,28 @@
+// Softmax cross-entropy loss with optional label smoothing.
+//
+// The paper uses label smoothing during ADMM training ("bag of tricks"
+// [25]); smoothing factor 0 recovers plain cross-entropy.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hwp3d::nn {
+
+struct LossResult {
+  float loss = 0.0f;       // mean over the batch
+  TensorF grad;            // dL/dlogits, [B][K]
+  int64_t correct = 0;     // argmax(logits) == label count
+};
+
+// logits: [B][K]; labels: B entries in [0, K). `smoothing` ε distributes
+// ε uniformly over all K classes and puts 1-ε+ε/K on the true class.
+LossResult SoftmaxCrossEntropy(const TensorF& logits,
+                               const std::vector<int>& labels,
+                               float smoothing = 0.0f);
+
+// Row-wise softmax of [B][K] logits (numerically stabilized).
+TensorF Softmax(const TensorF& logits);
+
+}  // namespace hwp3d::nn

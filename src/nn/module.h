@@ -1,0 +1,92 @@
+// Module: the layer abstraction of the training framework.
+//
+// Activations flow as rank-5 tensors [B][C][D][H][W] through the 3D CNN
+// trunk, become [B][C] after global pooling, and [B][num_classes] at the
+// head. Each module caches what it needs in Forward(train=true) so that
+// Backward can be called exactly once afterwards.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/param.h"
+#include "tensor/tensor.h"
+
+namespace hwp3d::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // Computes the output. When `train` is false the module must not
+  // mutate training state (e.g. BatchNorm running statistics) and need
+  // not cache activations.
+  virtual TensorF Forward(const TensorF& x, bool train) = 0;
+
+  // Given dL/dy, accumulates parameter gradients and returns dL/dx.
+  // Only valid after a Forward(..., train=true) call.
+  virtual TensorF Backward(const TensorF& dy) = 0;
+
+  // Appends pointers to this module's trainable parameters.
+  virtual void CollectParams(std::vector<Param*>& out) { (void)out; }
+
+  virtual std::string name() const = 0;
+
+  std::vector<Param*> Params() {
+    std::vector<Param*> out;
+    CollectParams(out);
+    return out;
+  }
+
+  void ZeroGrad() {
+    for (Param* p : Params()) p->ZeroGrad();
+  }
+};
+
+// Runs children in order; Backward in reverse order.
+class Sequential : public Module {
+ public:
+  explicit Sequential(std::string name = "sequential")
+      : name_(std::move(name)) {}
+
+  // Appends a child and returns a raw observer pointer to it.
+  template <typename M, typename... Args>
+  M* Emplace(Args&&... args) {
+    auto child = std::make_unique<M>(std::forward<Args>(args)...);
+    M* raw = child.get();
+    children_.push_back(std::move(child));
+    return raw;
+  }
+
+  void Append(std::unique_ptr<Module> m) { children_.push_back(std::move(m)); }
+
+  TensorF Forward(const TensorF& x, bool train) override {
+    TensorF cur = x;
+    for (auto& child : children_) cur = child->Forward(cur, train);
+    return cur;
+  }
+
+  TensorF Backward(const TensorF& dy) override {
+    TensorF cur = dy;
+    for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+      cur = (*it)->Backward(cur);
+    }
+    return cur;
+  }
+
+  void CollectParams(std::vector<Param*>& out) override {
+    for (auto& child : children_) child->CollectParams(out);
+  }
+
+  std::string name() const override { return name_; }
+
+  size_t size() const { return children_.size(); }
+  Module* child(size_t i) { return children_.at(i).get(); }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Module>> children_;
+};
+
+}  // namespace hwp3d::nn

@@ -1,0 +1,30 @@
+#include "nn/optimizer.h"
+
+#include "common/error.h"
+
+namespace hwp3d::nn {
+
+Sgd::Sgd(std::vector<Param*> params, SgdConfig cfg)
+    : params_(std::move(params)), cfg_(cfg) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) {
+    HWP_CHECK_MSG(p != nullptr, "null param handed to Sgd");
+    velocity_.emplace_back(p->value.shape(), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    TensorF& v = velocity_[i];
+    const int64_t n = p.value.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      float g = p.grad[j];
+      if (cfg_.weight_decay != 0.0f) g += cfg_.weight_decay * p.value[j];
+      v[j] = cfg_.momentum * v[j] + g;
+      p.value[j] -= cfg_.lr * v[j];
+    }
+  }
+}
+
+}  // namespace hwp3d::nn

@@ -1,0 +1,106 @@
+// SGD with momentum and weight decay, plus learning-rate schedules.
+//
+// The paper trains with SGD (lr 5e-3 unpruned, 5e-4 for ADMM/retraining),
+// warmup and cosine annealing during masked retraining.
+#pragma once
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/param.h"
+
+namespace hwp3d::nn {
+
+struct SgdConfig {
+  float lr = 1e-2f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<Param*> params, SgdConfig cfg);
+
+  // One update step using each param's accumulated gradient.
+  void Step();
+
+  void set_lr(float lr) { cfg_.lr = lr; }
+  float lr() const { return cfg_.lr; }
+
+  void ZeroGrad() {
+    for (Param* p : params_) p->ZeroGrad();
+  }
+
+ private:
+  std::vector<Param*> params_;
+  SgdConfig cfg_;
+  std::vector<TensorF> velocity_;
+};
+
+// Learning-rate schedule interface: maps a global step/epoch to an lr.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float LrAt(int epoch) const = 0;
+};
+
+// Constant lr.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float LrAt(int) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+// Multiplies by `gamma` every `step_size` epochs.
+class StepLr : public LrSchedule {
+ public:
+  StepLr(float base_lr, int step_size, float gamma)
+      : base_(base_lr), step_(step_size), gamma_(gamma) {}
+  float LrAt(int epoch) const override {
+    return base_ * std::pow(gamma_, static_cast<float>(epoch / step_));
+  }
+
+ private:
+  float base_;
+  int step_;
+  float gamma_;
+};
+
+// Linear warmup for `warmup_epochs`, then cosine decay to `min_lr` at
+// `total_epochs` — the paper's masked-retraining schedule.
+class WarmupCosineLr : public LrSchedule {
+ public:
+  WarmupCosineLr(float base_lr, int warmup_epochs, int total_epochs,
+                 float min_lr = 0.0f)
+      : base_(base_lr),
+        warmup_(warmup_epochs),
+        total_(total_epochs),
+        min_(min_lr) {}
+
+  float LrAt(int epoch) const override {
+    if (warmup_ > 0 && epoch < warmup_) {
+      return base_ * static_cast<float>(epoch + 1) /
+             static_cast<float>(warmup_);
+    }
+    const float progress =
+        total_ > warmup_
+            ? static_cast<float>(epoch - warmup_) /
+                  static_cast<float>(total_ - warmup_)
+            : 1.0f;
+    const float clipped = std::min(1.0f, std::max(0.0f, progress));
+    return min_ + 0.5f * (base_ - min_) *
+                      (1.0f + std::cos(clipped * 3.14159265358979f));
+  }
+
+ private:
+  float base_;
+  int warmup_;
+  int total_;
+  float min_;
+};
+
+}  // namespace hwp3d::nn

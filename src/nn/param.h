@@ -1,0 +1,25 @@
+// Param: a learnable tensor with its gradient accumulator.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace hwp3d::nn {
+
+// One trainable parameter. `grad` always has the same shape as `value`
+// and is accumulated by Module::Backward; optimizers consume and the
+// caller clears it via ZeroGrad.
+struct Param {
+  std::string name;
+  TensorF value;
+  TensorF grad;
+
+  Param() = default;
+  Param(std::string n, Shape shape)
+      : name(std::move(n)), value(shape), grad(shape) {}
+
+  void ZeroGrad() { grad.Fill(0.0f); }
+};
+
+}  // namespace hwp3d::nn

@@ -1,0 +1,53 @@
+#include "nn/trainer.h"
+
+namespace hwp3d::nn {
+
+EpochStats TrainEpoch(Module& model, Sgd& opt,
+                      const std::vector<Batch>& batches,
+                      const TrainOptions& options) {
+  EpochStats stats;
+  double loss_sum = 0.0;
+  int64_t correct = 0;
+  for (const Batch& batch : batches) {
+    opt.ZeroGrad();
+    model.ZeroGrad();
+    const TensorF logits = model.Forward(batch.clips, /*train=*/true);
+    const LossResult loss =
+        SoftmaxCrossEntropy(logits, batch.labels, options.label_smoothing);
+    model.Backward(loss.grad);
+    if (options.post_backward) options.post_backward();
+    opt.Step();
+    if (options.post_step) options.post_step();
+
+    const int64_t bsz = batch.clips.dim(0);
+    loss_sum += static_cast<double>(loss.loss) * bsz;
+    correct += loss.correct;
+    stats.samples += bsz;
+  }
+  if (stats.samples > 0) {
+    stats.mean_loss = static_cast<float>(loss_sum / stats.samples);
+    stats.accuracy = static_cast<double>(correct) / stats.samples;
+  }
+  return stats;
+}
+
+EpochStats Evaluate(Module& model, const std::vector<Batch>& batches) {
+  EpochStats stats;
+  double loss_sum = 0.0;
+  int64_t correct = 0;
+  for (const Batch& batch : batches) {
+    const TensorF logits = model.Forward(batch.clips, /*train=*/false);
+    const LossResult loss = SoftmaxCrossEntropy(logits, batch.labels, 0.0f);
+    const int64_t bsz = batch.clips.dim(0);
+    loss_sum += static_cast<double>(loss.loss) * bsz;
+    correct += loss.correct;
+    stats.samples += bsz;
+  }
+  if (stats.samples > 0) {
+    stats.mean_loss = static_cast<float>(loss_sum / stats.samples);
+    stats.accuracy = static_cast<double>(correct) / stats.samples;
+  }
+  return stats;
+}
+
+}  // namespace hwp3d::nn

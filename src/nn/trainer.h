@@ -1,0 +1,47 @@
+// Minibatch training / evaluation loop.
+//
+// The ADMM pruner plugs into the loop through the `post_backward` hook,
+// which runs after gradients are accumulated and before the optimizer
+// step — that is where the proximal term rho*(W - Z + V) is added (W-step)
+// and where masked retraining zeroes gradients of pruned weights.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+
+namespace hwp3d::nn {
+
+// One minibatch of video clips [B][C][D][H][W] with integer labels.
+struct Batch {
+  TensorF clips;
+  std::vector<int> labels;
+};
+
+struct EpochStats {
+  float mean_loss = 0.0f;
+  double accuracy = 0.0;  // in [0,1]
+  int64_t samples = 0;
+};
+
+struct TrainOptions {
+  float label_smoothing = 0.0f;
+  // Invoked after Backward, before the optimizer step.
+  std::function<void()> post_backward;
+  // Invoked after the optimizer step (e.g. weight re-masking).
+  std::function<void()> post_step;
+};
+
+// Runs one pass over `batches`, updating the model through `opt`.
+EpochStats TrainEpoch(Module& model, Sgd& opt,
+                      const std::vector<Batch>& batches,
+                      const TrainOptions& options = {});
+
+// Forward-only evaluation (train=false everywhere).
+EpochStats Evaluate(Module& model, const std::vector<Batch>& batches);
+
+}  // namespace hwp3d::nn

@@ -1,0 +1,110 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace hwp3d::report {
+
+Table& Table::Header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  return *this;
+}
+
+Table& Table::Row(std::vector<std::string> cells) {
+  rows_.push_back({std::move(cells), false});
+  return *this;
+}
+
+Table& Table::Rule() {
+  rows_.push_back({{}, true});
+  return *this;
+}
+
+std::string Table::Render() const {
+  // Column widths.
+  std::vector<size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& r : rows_) {
+    if (!r.is_rule) absorb(r.cells);
+  }
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit_rule = [&]() {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      os << "+" << std::string(widths[i] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      os << "| " << c << std::string(widths[i] - c.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  emit_rule();
+  if (!header_.empty()) {
+    emit_row(header_);
+    emit_rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.is_rule) {
+      emit_rule();
+    } else {
+      emit_row(r.cells);
+    }
+  }
+  emit_rule();
+  return os.str();
+}
+
+std::string Table::RenderCsv() const {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << ",";
+      // Quote cells containing commas.
+      if (cells[i].find(',') != std::string::npos) {
+        os << '"' << cells[i] << '"';
+      } else {
+        os << cells[i];
+      }
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) {
+    if (!r.is_rule) emit(r.cells);
+  }
+  return os.str();
+}
+
+void Table::Print() const { std::fputs(Render().c_str(), stdout); }
+
+std::string Table::Num(double v, int precision) {
+  return StrFormat("%.*f", precision, v);
+}
+
+std::string Table::Int(int64_t v) {
+  return StrFormat("%lld", static_cast<long long>(v));
+}
+
+std::string Table::Pct(double fraction, int precision) {
+  return StrFormat("%.*f%%", precision, fraction * 100.0);
+}
+
+std::string Table::Ratio(double v, int precision) {
+  return StrFormat("%.*fx", precision, v);
+}
+
+}  // namespace hwp3d::report

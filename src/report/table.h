@@ -1,0 +1,41 @@
+// ASCII table emission for the benchmark harness: every bench prints the
+// paper's rows next to our measured values in a fixed-width table, plus
+// an optional CSV dump for downstream plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hwp3d::report {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& Header(std::vector<std::string> cells);
+  Table& Row(std::vector<std::string> cells);
+  // Horizontal separator row.
+  Table& Rule();
+
+  std::string Render() const;
+  std::string RenderCsv() const;
+  void Print() const;  // Render to stdout
+
+  // Cell formatting helpers.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(int64_t v);
+  static std::string Pct(double fraction, int precision = 0);
+  static std::string Ratio(double v, int precision = 2);  // "3.18x"
+
+ private:
+  struct RowData {
+    std::vector<std::string> cells;
+    bool is_rule = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<RowData> rows_;
+};
+
+}  // namespace hwp3d::report

@@ -1,0 +1,30 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace hwp3d {
+
+void FillUniform(TensorF& t, Rng& rng, float lo, float hi) {
+  for (int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.Uniform(lo, hi));
+}
+
+void FillNormal(TensorF& t, Rng& rng, float mean, float stddev) {
+  for (int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.Normal(mean, stddev));
+}
+
+void FillKaiming(TensorF& t, Rng& rng, int64_t fan_in) {
+  HWP_CHECK_MSG(fan_in > 0, "Kaiming init requires positive fan_in");
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  FillNormal(t, rng, 0.0f, stddev);
+}
+
+void FillXavier(TensorF& t, Rng& rng, int64_t fan_in, int64_t fan_out) {
+  HWP_CHECK_MSG(fan_in > 0 && fan_out > 0, "Xavier init requires positive fans");
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  FillUniform(t, rng, -bound, bound);
+}
+
+}  // namespace hwp3d

@@ -1,0 +1,22 @@
+// Random tensor initialization (weight init for the NN framework).
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace hwp3d {
+
+// Fills t with U(lo, hi).
+void FillUniform(TensorF& t, Rng& rng, float lo, float hi);
+
+// Fills t with N(mean, stddev).
+void FillNormal(TensorF& t, Rng& rng, float mean, float stddev);
+
+// Kaiming-He normal init for a conv/linear weight tensor; fan_in is the
+// number of input connections per output unit.
+void FillKaiming(TensorF& t, Rng& rng, int64_t fan_in);
+
+// Xavier/Glorot uniform init.
+void FillXavier(TensorF& t, Rng& rng, int64_t fan_in, int64_t fan_out);
+
+}  // namespace hwp3d

@@ -1,0 +1,71 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace hwp3d {
+namespace {
+
+constexpr char kMagic[4] = {'H', 'W', 'P', 'T'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WriteRaw(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T ReadRaw(std::istream& is) {
+  T v;
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  HWP_CHECK_MSG(static_cast<bool>(is), "tensor stream truncated");
+  return v;
+}
+
+}  // namespace
+
+void WriteTensor(std::ostream& os, const TensorF& t) {
+  os.write(kMagic, 4);
+  WriteRaw(os, kVersion);
+  WriteRaw(os, static_cast<uint32_t>(t.rank()));
+  for (int i = 0; i < t.rank(); ++i) WriteRaw(os, t.dim(i));
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  HWP_CHECK_MSG(static_cast<bool>(os), "tensor write failed");
+}
+
+TensorF ReadTensor(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  HWP_CHECK_MSG(static_cast<bool>(is) && std::memcmp(magic, kMagic, 4) == 0,
+                "bad tensor magic");
+  const uint32_t version = ReadRaw<uint32_t>(is);
+  HWP_CHECK_MSG(version == kVersion, "unsupported tensor version " << version);
+  const uint32_t rank = ReadRaw<uint32_t>(is);
+  HWP_CHECK_MSG(rank <= 8, "implausible tensor rank " << rank);
+  std::vector<int64_t> dims(rank);
+  for (uint32_t i = 0; i < rank; ++i) dims[i] = ReadRaw<int64_t>(is);
+  Shape shape(dims);
+  TensorF t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  HWP_CHECK_MSG(static_cast<bool>(is), "tensor data truncated");
+  return t;
+}
+
+void SaveTensor(const std::string& path, const TensorF& t) {
+  std::ofstream os(path, std::ios::binary);
+  HWP_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  WriteTensor(os, t);
+}
+
+TensorF LoadTensor(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  HWP_CHECK_MSG(is.is_open(), "cannot open " << path << " for reading");
+  return ReadTensor(is);
+}
+
+}  // namespace hwp3d

@@ -1,0 +1,21 @@
+// Binary tensor (de)serialization for checkpoints.
+//
+// Format: magic "HWPT", u32 version, u32 rank, i64 dims[rank], f32 data[].
+// Little-endian, as produced on the host.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace hwp3d {
+
+void WriteTensor(std::ostream& os, const TensorF& t);
+TensorF ReadTensor(std::istream& is);
+
+// Convenience file wrappers; throw Error on I/O failure.
+void SaveTensor(const std::string& path, const TensorF& t);
+TensorF LoadTensor(const std::string& path);
+
+}  // namespace hwp3d

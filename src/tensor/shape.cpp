@@ -1,0 +1,51 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+namespace hwp3d {
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+std::vector<int64_t> Shape::strides() const {
+  std::vector<int64_t> s(dims_.size(), 1);
+  for (int i = rank() - 2; i >= 0; --i) {
+    s[static_cast<size_t>(i)] =
+        s[static_cast<size_t>(i) + 1] * dims_[static_cast<size_t>(i) + 1];
+  }
+  return s;
+}
+
+int64_t Shape::LinearIndex(const std::vector<int64_t>& idx) const {
+  HWP_SHAPE_CHECK_MSG(static_cast<int>(idx.size()) == rank(),
+                      "index rank " << idx.size() << " vs shape rank "
+                                    << rank());
+  int64_t offset = 0;
+  int64_t stride = 1;
+  for (int i = rank() - 1; i >= 0; --i) {
+    const int64_t x = idx[static_cast<size_t>(i)];
+    const int64_t d = dims_[static_cast<size_t>(i)];
+    HWP_SHAPE_CHECK_MSG(x >= 0 && x < d,
+                        "index " << x << " out of bounds for dim " << i
+                                 << " of extent " << d);
+    offset += x * stride;
+    stride *= d;
+  }
+  return offset;
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace hwp3d

@@ -1,0 +1,127 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+
+namespace hwp3d {
+
+namespace {
+void CheckSameShape(const TensorF& a, const TensorF& b, const char* op) {
+  HWP_SHAPE_CHECK_MSG(a.shape() == b.shape(),
+                      op << ": shape mismatch " << a.shape().ToString()
+                         << " vs " << b.shape().ToString());
+}
+}  // namespace
+
+void Axpy(float alpha, const TensorF& x, TensorF& y) {
+  CheckSameShape(x, y, "Axpy");
+  const float* xp = x.data();
+  float* yp = y.data();
+  const int64_t n = x.numel();
+  for (int64_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
+}
+
+TensorF Add(const TensorF& a, const TensorF& b) {
+  CheckSameShape(a, b, "Add");
+  TensorF out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+TensorF Sub(const TensorF& a, const TensorF& b) {
+  CheckSameShape(a, b, "Sub");
+  TensorF out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+TensorF Mul(const TensorF& a, const TensorF& b) {
+  CheckSameShape(a, b, "Mul");
+  TensorF out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+void Scale(TensorF& t, float alpha) {
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] *= alpha;
+}
+
+void AddScalar(TensorF& t, float alpha) {
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] += alpha;
+}
+
+float Sum(const TensorF& t) {
+  double s = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) s += t[i];
+  return static_cast<float>(s);
+}
+
+float Dot(const TensorF& a, const TensorF& b) {
+  CheckSameShape(a, b, "Dot");
+  double s = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i)
+    s += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(s);
+}
+
+float FrobeniusNorm(const TensorF& t) {
+  double s = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i)
+    s += static_cast<double>(t[i]) * t[i];
+  return static_cast<float>(std::sqrt(s));
+}
+
+float MaxAbs(const TensorF& t) {
+  float m = 0.0f;
+  for (int64_t i = 0; i < t.numel(); ++i)
+    m = std::max(m, std::fabs(t[i]));
+  return m;
+}
+
+float Mean(const TensorF& t) {
+  HWP_CHECK_MSG(t.numel() > 0, "Mean of empty tensor");
+  return Sum(t) / static_cast<float>(t.numel());
+}
+
+float Variance(const TensorF& t) {
+  HWP_CHECK_MSG(t.numel() > 0, "Variance of empty tensor");
+  const double mu = Mean(t);
+  double s = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    const double d = t[i] - mu;
+    s += d * d;
+  }
+  return static_cast<float>(s / static_cast<double>(t.numel()));
+}
+
+int64_t Argmax(const TensorF& t) {
+  HWP_CHECK_MSG(t.numel() > 0, "Argmax of empty tensor");
+  int64_t best = 0;
+  for (int64_t i = 1; i < t.numel(); ++i) {
+    if (t[i] > t[best]) best = i;
+  }
+  return best;
+}
+
+int64_t CountZeros(const TensorF& t) {
+  int64_t n = 0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    if (t[i] == 0.0f) ++n;
+  }
+  return n;
+}
+
+double Sparsity(const TensorF& t) {
+  if (t.numel() == 0) return 0.0;
+  return static_cast<double>(CountZeros(t)) / static_cast<double>(t.numel());
+}
+
+bool AllClose(const TensorF& a, const TensorF& b, float rtol, float atol) {
+  if (a.shape() != b.shape()) return false;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const float tol = atol + rtol * std::fabs(b[i]);
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace hwp3d

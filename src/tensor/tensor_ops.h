@@ -1,0 +1,47 @@
+// Element-wise and reduction operations on Tensor<float>.
+//
+// These are the numeric workhorses of the training framework and the ADMM
+// pruner (Frobenius norms, axpy for the proximal term, etc.).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace hwp3d {
+
+// y += alpha * x  (shapes must match).
+void Axpy(float alpha, const TensorF& x, TensorF& y);
+
+// out = a + b / a - b / a * b (element-wise; shapes must match).
+TensorF Add(const TensorF& a, const TensorF& b);
+TensorF Sub(const TensorF& a, const TensorF& b);
+TensorF Mul(const TensorF& a, const TensorF& b);
+
+// In-place scalar ops.
+void Scale(TensorF& t, float alpha);
+void AddScalar(TensorF& t, float alpha);
+
+// Reductions.
+float Sum(const TensorF& t);
+float Dot(const TensorF& a, const TensorF& b);
+float FrobeniusNorm(const TensorF& t);
+float MaxAbs(const TensorF& t);
+float Mean(const TensorF& t);
+float Variance(const TensorF& t);  // population variance
+
+// Index of the maximum element (first occurrence).
+int64_t Argmax(const TensorF& t);
+
+// Number of exactly-zero entries.
+int64_t CountZeros(const TensorF& t);
+
+// Fraction of entries that are exactly zero, in [0,1].
+double Sparsity(const TensorF& t);
+
+// True if |a[i]-b[i]| <= atol + rtol*|b[i]| for all i.
+bool AllClose(const TensorF& a, const TensorF& b, float rtol = 1e-5f,
+              float atol = 1e-6f);
+
+}  // namespace hwp3d

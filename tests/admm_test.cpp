@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/admm.h"
+#include "tensor/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace hwp3d {
+namespace {
+
+using core::AdmmConfig;
+using core::AdmmPruner;
+using core::AdmmResiduals;
+using core::PruneLayerSpec;
+
+nn::Param MakeWeight(const Shape& shape, uint64_t seed) {
+  nn::Param p("w", shape);
+  Rng rng(seed);
+  FillNormal(p.value, rng, 0.0f, 1.0f);
+  return p;
+}
+
+TEST(AdmmPrunerTest, ProximalGradientMatchesFormula) {
+  nn::Param w = MakeWeight(Shape{4, 4, 1, 1, 1}, 1);
+  AdmmConfig cfg;
+  cfg.rho_schedule = {0.5};
+  AdmmPruner pruner({{&w, {2, 2}, 0.5, "l0"}}, cfg);
+  pruner.StartRound(0);
+  // After init: Z = Proj(W), V = 0, so grad += rho * (W - Z).
+  w.grad.Fill(0.0f);
+  pruner.AddProximalGradients();
+  // Elements of surviving blocks have W == Z -> zero gradient; pruned
+  // blocks get rho * W.
+  int64_t zero_grads = 0, prop_grads = 0;
+  for (int64_t i = 0; i < w.value.numel(); ++i) {
+    if (std::fabs(w.grad[i]) < 1e-12f) {
+      ++zero_grads;
+    } else {
+      EXPECT_NEAR(w.grad[i], 0.5f * w.value[i], 1e-6f);
+      ++prop_grads;
+    }
+  }
+  EXPECT_EQ(zero_grads, 8);  // 2 surviving blocks x 4 elements
+  EXPECT_EQ(prop_grads, 8);
+}
+
+TEST(AdmmPrunerTest, RequiresStartRoundFirst) {
+  nn::Param w = MakeWeight(Shape{4, 4, 1, 1, 1}, 2);
+  AdmmPruner pruner({{&w, {2, 2}, 0.5, "l0"}}, AdmmConfig{});
+  EXPECT_THROW(pruner.AddProximalGradients(), Error);
+  EXPECT_THROW(pruner.UpdateAuxiliaries(), Error);
+}
+
+TEST(AdmmPrunerTest, ConvergesOnQuadraticToyProblem) {
+  // f(W) = 0.5 ||W - W*||^2 with a dense W*. The ADMM iterates must
+  // drive W toward a block-sparse tensor close to Proj(W*), with the
+  // primal residual ||W - Z|| -> 0.
+  const Shape shape{8, 8, 1, 1, 1};
+  nn::Param w = MakeWeight(shape, 3);
+  const TensorF target = w.value;  // start at the unconstrained optimum
+
+  AdmmConfig cfg;
+  cfg.rho_schedule = {0.1, 1.0, 10.0};
+  cfg.epsilon = 1e-3;
+  AdmmPruner pruner({{&w, {4, 4}, 0.75, "toy"}}, cfg);
+
+  AdmmResiduals last;
+  for (int round = 0; round < pruner.num_rounds(); ++round) {
+    pruner.StartRound(round);
+    for (int it = 0; it < 60; ++it) {
+      // Exact gradient descent on f + proximal term.
+      w.grad.Fill(0.0f);
+      for (int64_t i = 0; i < w.value.numel(); ++i) {
+        w.grad[i] = w.value[i] - target[i];
+      }
+      pruner.AddProximalGradients();
+      for (int64_t i = 0; i < w.value.numel(); ++i) {
+        w.value[i] -= 0.1f * w.grad[i];
+      }
+      last = pruner.UpdateAuxiliaries();
+    }
+  }
+  EXPECT_LT(last.primal, 0.05);
+  // Hard prune should now barely move W.
+  const TensorF before = w.value;
+  pruner.HardPrune();
+  const float delta = FrobeniusNorm(Sub(before, w.value));
+  const float scale = FrobeniusNorm(before);
+  EXPECT_LT(delta / scale, 0.1f);
+  // And the result satisfies the sparsity constraint.
+  EXPECT_NEAR(Sparsity(w.value), 0.75, 1e-9);
+}
+
+TEST(AdmmPrunerTest, ResidualsShrinkWithStrongPenalty) {
+  // With rho dominating the data term, the W-step tracks Z and the
+  // primal residual must contract.
+  const Shape shape{8, 8, 1, 1, 1};
+  nn::Param w = MakeWeight(shape, 4);
+  const TensorF target = w.value;
+  AdmmConfig cfg;
+  cfg.rho_schedule = {5.0};
+  AdmmPruner pruner({{&w, {4, 4}, 0.5, "toy"}}, cfg);
+  pruner.StartRound(0);
+
+  double first_primal = -1.0, last_primal = -1.0;
+  for (int it = 0; it < 80; ++it) {
+    w.grad.Fill(0.0f);
+    for (int64_t i = 0; i < w.value.numel(); ++i)
+      w.grad[i] = w.value[i] - target[i];
+    pruner.AddProximalGradients();
+    for (int64_t i = 0; i < w.value.numel(); ++i)
+      w.value[i] -= 0.05f * w.grad[i];
+    const AdmmResiduals r = pruner.UpdateAuxiliaries();
+    if (it == 0) first_primal = r.primal;
+    last_primal = r.primal;
+  }
+  EXPECT_LT(last_primal, first_primal);
+  EXPECT_LT(last_primal, 0.1);
+}
+
+TEST(AdmmPrunerTest, HardPruneProducesStatsAndMasks) {
+  nn::Param w = MakeWeight(Shape{16, 8, 1, 3, 3}, 5);
+  AdmmConfig cfg;
+  AdmmPruner pruner({{&w, {4, 4}, 0.75, "layer"}}, cfg);
+  pruner.StartRound(0);
+  pruner.HardPrune();
+  const auto stats = pruner.Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].total_blocks, 8);
+  EXPECT_EQ(stats[0].kept_blocks, 2);
+  EXPECT_EQ(stats[0].total_params, 16 * 8 * 9);
+  EXPECT_EQ(stats[0].kept_params, 2 * 4 * 4 * 9);
+  EXPECT_NEAR(stats[0].achieved_sparsity(), 0.75, 1e-9);
+  EXPECT_NEAR(stats[0].prune_rate(), 4.0, 1e-9);
+}
+
+TEST(AdmmPrunerTest, MaskGradientsZeroesPrunedBlocks) {
+  nn::Param w = MakeWeight(Shape{8, 8, 1, 1, 1}, 6);
+  AdmmPruner pruner({{&w, {4, 4}, 0.5, "layer"}}, AdmmConfig{});
+  pruner.StartRound(0);
+  pruner.HardPrune();
+  w.grad.Fill(1.0f);
+  pruner.MaskGradients();
+  // Gradient zeroed exactly where the value was pruned.
+  for (int64_t i = 0; i < w.value.numel(); ++i) {
+    if (w.value[i] == 0.0f) {
+      EXPECT_FLOAT_EQ(w.grad[i], 0.0f);
+    } else {
+      EXPECT_FLOAT_EQ(w.grad[i], 1.0f);
+    }
+  }
+}
+
+TEST(AdmmPrunerTest, ReapplyMasksUndoesDrift) {
+  nn::Param w = MakeWeight(Shape{8, 8, 1, 1, 1}, 7);
+  AdmmPruner pruner({{&w, {4, 4}, 0.5, "layer"}}, AdmmConfig{});
+  pruner.StartRound(0);
+  pruner.HardPrune();
+  const double s0 = Sparsity(w.value);
+  // Simulate momentum drift: perturb everything.
+  for (int64_t i = 0; i < w.value.numel(); ++i) w.value[i] += 0.01f;
+  EXPECT_LT(Sparsity(w.value), s0);
+  pruner.ReapplyMasks();
+  EXPECT_NEAR(Sparsity(w.value), s0, 1e-12);
+}
+
+TEST(AdmmPrunerTest, MultiLayerIndependentEtas) {
+  nn::Param w1 = MakeWeight(Shape{8, 8, 1, 1, 1}, 8);
+  nn::Param w2 = MakeWeight(Shape{8, 8, 1, 1, 1}, 9);
+  AdmmPruner pruner({{&w1, {4, 4}, 0.75, "a"}, {&w2, {4, 4}, 0.5, "b"}},
+                    AdmmConfig{});
+  pruner.StartRound(0);
+  pruner.HardPrune();
+  const auto stats = pruner.Stats();
+  EXPECT_EQ(stats[0].kept_blocks, 1);
+  EXPECT_EQ(stats[1].kept_blocks, 2);
+}
+
+TEST(AdmmPrunerTest, ProximalPenaltyMatchesDefinition) {
+  // ProximalPenalty must equal sum_i rho/2 ||W_i - Z_i + V_i||_F^2,
+  // computable by hand right after initialization (V = 0, Z = Proj(W)):
+  // the penalty is then rho/2 times the squared norm of the pruned part.
+  nn::Param w = MakeWeight(Shape{8, 8, 1, 1, 1}, 10);
+  AdmmConfig cfg;
+  cfg.rho_schedule = {2.0};
+  AdmmPruner pruner({{&w, {4, 4}, 0.5, "l"}}, cfg);
+  pruner.StartRound(0);
+
+  TensorF z = w.value;
+  core::BlockPartition part(w.value.shape(), {4, 4});
+  core::ProjectToBlockSparse(z, part, 0.5);
+  double expect = 0.0;
+  for (int64_t i = 0; i < w.value.numel(); ++i) {
+    const double d = static_cast<double>(w.value[i]) - z[i];
+    expect += d * d;
+  }
+  expect *= 0.5 * 2.0;
+  EXPECT_NEAR(pruner.ProximalPenalty(), expect, 1e-6 * (1.0 + expect));
+}
+
+TEST(AdmmPrunerTest, RejectsInvalidSetup) {
+  EXPECT_THROW(AdmmPruner({}, AdmmConfig{}), Error);
+  nn::Param w = MakeWeight(Shape{4, 4, 1, 1, 1}, 11);
+  EXPECT_THROW(AdmmPruner({{&w, {2, 2}, 1.5, "bad"}}, AdmmConfig{}), Error);
+  EXPECT_THROW(AdmmPruner({{nullptr, {2, 2}, 0.5, "null"}}, AdmmConfig{}),
+               Error);
+  AdmmConfig empty;
+  empty.rho_schedule.clear();
+  EXPECT_THROW(AdmmPruner({{&w, {2, 2}, 0.5, "l"}}, empty), Error);
+}
+
+TEST(AdmmPrunerTest, StatsBeforeHardPruneThrows) {
+  nn::Param w = MakeWeight(Shape{4, 4, 1, 1, 1}, 12);
+  AdmmPruner pruner({{&w, {2, 2}, 0.5, "l"}}, AdmmConfig{});
+  pruner.StartRound(0);
+  EXPECT_THROW(pruner.Stats(), Error);
+  EXPECT_THROW(pruner.MaskGradients(), Error);
+}
+
+}  // namespace
+}  // namespace hwp3d

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "fpga/bandwidth_model.h"
+
+namespace hwp3d {
+namespace {
+
+using fpga::BandwidthModel;
+using fpga::LayerTraffic;
+using fpga::NetworkTraffic;
+
+models::ConvLayerSpec OneTileLayer() {
+  // Exactly one spatial tile, one m-block, one n-block under tiling
+  // (8, 8, 4, 14, 14).
+  models::ConvLayerSpec l;
+  l.name = "one";
+  l.M = 8;
+  l.N = 8;
+  l.Kd = l.Kr = l.Kc = 3;
+  l.Sd = l.Sr = l.Sc = 1;
+  l.D = 4;
+  l.R = l.C = 14;
+  return l;
+}
+
+TEST(BandwidthModelTest, HandComputedSingleTile) {
+  BandwidthModel bw(fpga::Tiling{8, 8, 4, 14, 14});
+  const LayerTraffic t = bw.LayerBytes(OneTileLayer());
+  // Weights: 8*8*27 elements * 2 bytes, fetched once.
+  EXPECT_DOUBLE_EQ(t.weight_bytes, 2.0 * 8 * 8 * 27);
+  // Input tile: 8 channels * 6*16*16 window * 2 bytes.
+  EXPECT_DOUBLE_EQ(t.input_bytes, 2.0 * 8 * 6 * 16 * 16);
+  // Output tile: 8 * 4*14*14 * 2 bytes.
+  EXPECT_DOUBLE_EQ(t.output_bytes, 2.0 * 8 * 4 * 14 * 14);
+}
+
+TEST(BandwidthModelTest, WeightTrafficScalesWithSpatialTiles) {
+  models::ConvLayerSpec l = OneTileLayer();
+  l.D = 8;  // two temporal tiles
+  BandwidthModel bw(fpga::Tiling{8, 8, 4, 14, 14});
+  const LayerTraffic t1 = bw.LayerBytes(OneTileLayer());
+  const LayerTraffic t2 = bw.LayerBytes(l);
+  EXPECT_DOUBLE_EQ(t2.weight_bytes, 2.0 * t1.weight_bytes);
+  EXPECT_DOUBLE_EQ(t2.output_bytes, 2.0 * t1.output_bytes);
+}
+
+TEST(BandwidthModelTest, MaskCutsWeightAndInputTraffic) {
+  models::ConvLayerSpec l = OneTileLayer();
+  l.N = 64;  // 8 n-blocks
+  BandwidthModel bw(fpga::Tiling{8, 8, 4, 14, 14});
+  core::BlockPartition part(Shape{l.M, l.N, l.Kd, l.Kr, l.Kc}, {8, 8});
+  core::BlockMask mask = part.FullMask();
+  for (int64_t bn = 0; bn < 6; ++bn) mask.set(0, bn, false);
+
+  const LayerTraffic dense = bw.LayerBytes(l);
+  const LayerTraffic pruned = bw.LayerBytes(l, &mask);
+  EXPECT_DOUBLE_EQ(pruned.weight_bytes, dense.weight_bytes * 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(pruned.input_bytes, dense.input_bytes * 2.0 / 8.0);
+  // Output must still be written in full.
+  EXPECT_DOUBLE_EQ(pruned.output_bytes, dense.output_bytes);
+}
+
+TEST(BandwidthModelTest, NetworkAggregates) {
+  const models::NetworkSpec spec = models::MakeR2Plus1DSpec();
+  BandwidthModel bw(fpga::PaperTilingTn8());
+  const NetworkTraffic t = bw.NetworkBytes(spec);
+  EXPECT_EQ(t.per_layer.size(), spec.layers.size());
+  double sum = 0.0;
+  for (const auto& l : t.per_layer) sum += l.total();
+  EXPECT_DOUBLE_EQ(sum, t.totals.total());
+  EXPECT_GT(t.totals.total(), 0.0);
+}
+
+TEST(BandwidthModelTest, PruningReducesNetworkTraffic) {
+  models::NetworkSpec spec = models::MakeR2Plus1DSpec();
+  models::ApplyPaperPruningTargets(spec);
+  const fpga::SpecMasks masks = fpga::GenerateSpecMasks(spec, {64, 8});
+  BandwidthModel bw(fpga::PaperTilingTn8());
+  const NetworkTraffic dense = bw.NetworkBytes(spec);
+  const NetworkTraffic pruned = bw.NetworkBytes(spec, &masks);
+  EXPECT_LT(pruned.totals.weight_bytes, dense.totals.weight_bytes);
+  EXPECT_LT(pruned.totals.input_bytes, dense.totals.input_bytes);
+  EXPECT_DOUBLE_EQ(pruned.totals.output_bytes, dense.totals.output_bytes);
+}
+
+TEST(BandwidthModelTest, AvgBandwidthConversion) {
+  NetworkTraffic t;
+  t.totals.weight_bytes = 1e9;
+  t.totals.input_bytes = 0.5e9;
+  t.totals.output_bytes = 0.5e9;
+  // 2 GB over 150M cycles at 150 MHz = 1 second -> 2 GB/s.
+  EXPECT_NEAR(t.AvgBandwidthGBs(150000000, 150.0), 2.0, 1e-9);
+}
+
+TEST(BandwidthModelTest, DemandFitsDdrEnvelopeAtPaperDesignPoint) {
+  // Sanity: the modeled average bandwidth at the paper's design point
+  // must fit a single DDR4 channel (ZCU102 PS-DDR ~19 GB/s peak).
+  const models::NetworkSpec spec = models::MakeR2Plus1DSpec();
+  BandwidthModel bw(fpga::PaperTilingTn8());
+  fpga::PerfModel pm(fpga::PaperTilingTn8(), fpga::Ports{});
+  const NetworkTraffic t = bw.NetworkBytes(spec);
+  const double gbs =
+      t.AvgBandwidthGBs(pm.NetworkCycles(spec).cycles, 150.0);
+  EXPECT_GT(gbs, 0.1);
+  EXPECT_LT(gbs, 19.2);
+}
+
+}  // namespace
+}  // namespace hwp3d

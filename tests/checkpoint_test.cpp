@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/rng.h"
+#include "models/tiny_r2plus1d.h"
+#include "nn/checkpoint.h"
+#include "nn/linear.h"
+#include "tensor/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace hwp3d {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CheckpointTest, RoundTripLinearModel) {
+  Rng rng(1);
+  nn::Sequential model;
+  model.Emplace<nn::Linear>(4, 8, rng, "fc1");
+  model.Emplace<nn::Linear>(8, 2, rng, "fc2");
+  const std::string path = TempPath("ckpt_linear.bin");
+  nn::SaveCheckpoint(path, model);
+
+  // A same-seed clone has identical structure but will be clobbered.
+  Rng rng2(99);
+  nn::Sequential other;
+  other.Emplace<nn::Linear>(4, 8, rng2, "fc1");
+  other.Emplace<nn::Linear>(8, 2, rng2, "fc2");
+  nn::LoadCheckpoint(path, other);
+
+  auto a = model.Params();
+  auto b = other.Params();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(AllClose(a[i]->value, b[i]->value, 0.0f, 0.0f))
+        << a[i]->name;
+  }
+}
+
+TEST(CheckpointTest, RoundTripTinyR2Plus1dPreservesPrunedZeros) {
+  Rng rng(2);
+  models::TinyR2Plus1dConfig cfg;
+  cfg.stem_channels = 4;
+  cfg.stage1_channels = 8;
+  cfg.stage2_channels = 8;
+  models::TinyR2Plus1d model(cfg, rng);
+  // Zero a block by hand to mimic a pruned model.
+  nn::Conv3d* conv = model.PrunableConvs()[0];
+  for (int64_t i = 0; i < conv->weight().value.numel() / 2; ++i) {
+    conv->weight().value[i] = 0.0f;
+  }
+  const double sparsity = Sparsity(conv->weight().value);
+
+  const std::string path = TempPath("ckpt_tiny.bin");
+  nn::SaveCheckpoint(path, model);
+
+  Rng rng2(77);
+  models::TinyR2Plus1d loaded(cfg, rng2);
+  nn::LoadCheckpoint(path, loaded);
+  EXPECT_NEAR(Sparsity(loaded.PrunableConvs()[0]->weight().value), sparsity,
+              1e-12);
+}
+
+TEST(CheckpointTest, RejectsStructureMismatch) {
+  Rng rng(3);
+  nn::Sequential model;
+  model.Emplace<nn::Linear>(4, 8, rng, "fc1");
+  const std::string path = TempPath("ckpt_mismatch.bin");
+  nn::SaveCheckpoint(path, model);
+
+  nn::Sequential bigger;
+  bigger.Emplace<nn::Linear>(4, 8, rng, "fc1");
+  bigger.Emplace<nn::Linear>(8, 2, rng, "fc2");
+  EXPECT_THROW(nn::LoadCheckpoint(path, bigger), Error);  // param count
+
+  nn::Sequential renamed;
+  renamed.Emplace<nn::Linear>(4, 8, rng, "other_name");
+  EXPECT_THROW(nn::LoadCheckpoint(path, renamed), Error);  // name mismatch
+
+  nn::Sequential reshaped;
+  reshaped.Emplace<nn::Linear>(8, 4, rng, "fc1");
+  EXPECT_THROW(nn::LoadCheckpoint(path, reshaped), Error);  // shape
+}
+
+TEST(CheckpointTest, RejectsGarbageFile) {
+  const std::string path = TempPath("ckpt_garbage.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "this is not a checkpoint";
+  }
+  Rng rng(4);
+  nn::Sequential model;
+  model.Emplace<nn::Linear>(2, 2, rng, "fc");
+  EXPECT_THROW(nn::LoadCheckpoint(path, model), Error);
+}
+
+TEST(CheckpointTest, MissingFileThrows) {
+  Rng rng(5);
+  nn::Sequential model;
+  model.Emplace<nn::Linear>(2, 2, rng, "fc");
+  EXPECT_THROW(nn::LoadCheckpoint("/no/such/file.bin", model), Error);
+}
+
+}  // namespace
+}  // namespace hwp3d

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace hwp3d {
+namespace {
+
+TEST(ErrorTest, CheckThrowsWithMessage) {
+  try {
+    HWP_CHECK_MSG(1 == 2, "custom detail " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail 42"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckPassesSilently) {
+  EXPECT_NO_THROW(HWP_CHECK(2 + 2 == 4));
+}
+
+TEST(ErrorTest, ShapeCheckThrowsShapeError) {
+  EXPECT_THROW(HWP_SHAPE_CHECK_MSG(false, "bad"), ShapeError);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Uniform() != b.Uniform()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, NormalHasRoughMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(ParallelTest, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(0, 1000, [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelFor(5, 5, [&](int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelTest, PropagatesExceptions) {
+  EXPECT_THROW(
+      ParallelFor(0, 100,
+                  [](int64_t i) {
+                    if (i == 50) throw Error("boom");
+                  }),
+      Error);
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({1, 2, 3}, "x"), "1x2x3");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({7}, ","), "7");
+}
+
+TEST(StringsTest, HumanCount) {
+  EXPECT_EQ(HumanCount(1234567.0), "1.23M");
+  EXPECT_EQ(HumanCount(2048.0), "2.05K");
+  EXPECT_EQ(HumanCount(12.0), "12.00");
+  EXPECT_EQ(HumanCount(3.2e9), "3.20G");
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(1536.0), "1.50 KiB");
+  EXPECT_EQ(HumanBytes(10.0), "10.00 B");
+}
+
+}  // namespace
+}  // namespace hwp3d

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/conv3d.h"
+#include "tensor/init.h"
+#include "testing/gradcheck.h"
+
+namespace hwp3d {
+namespace {
+
+using nn::Conv3d;
+using nn::Conv3dConfig;
+
+Conv3dConfig SmallConfig() {
+  Conv3dConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 3;
+  cfg.kernel = {2, 3, 3};
+  cfg.stride = {1, 1, 1};
+  cfg.padding = {0, 1, 1};
+  return cfg;
+}
+
+TEST(Conv3dTest, OutputShape) {
+  Rng rng(1);
+  Conv3d conv(SmallConfig(), rng);
+  TensorF x(Shape{2, 2, 4, 5, 5});
+  const TensorF y = conv.Forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 3, 5, 5}));
+}
+
+TEST(Conv3dTest, StridedOutputShape) {
+  Rng rng(1);
+  Conv3dConfig cfg;
+  cfg.in_channels = 1;
+  cfg.out_channels = 1;
+  cfg.kernel = {1, 3, 3};
+  cfg.stride = {1, 2, 2};
+  cfg.padding = {0, 1, 1};
+  Conv3d conv(cfg, rng);
+  TensorF x(Shape{1, 1, 4, 8, 8});
+  const TensorF y = conv.Forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 4, 4, 4}));
+}
+
+TEST(Conv3dTest, IdentityKernelCopiesInput) {
+  Rng rng(1);
+  Conv3dConfig cfg;
+  cfg.in_channels = 1;
+  cfg.out_channels = 1;
+  cfg.kernel = {1, 1, 1};
+  cfg.bias = false;
+  Conv3d conv(cfg, rng);
+  conv.weight().value.Fill(1.0f);
+  TensorF x(Shape{1, 1, 2, 3, 3});
+  for (int64_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(i);
+  const TensorF y = conv.Forward(x, false);
+  for (int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv3dTest, KnownSumKernel) {
+  // All-ones 3x3x3 kernel over an all-ones input (no padding) sums the
+  // 27-element window.
+  Rng rng(1);
+  Conv3dConfig cfg;
+  cfg.in_channels = 1;
+  cfg.out_channels = 1;
+  cfg.kernel = {3, 3, 3};
+  cfg.bias = false;
+  Conv3d conv(cfg, rng);
+  conv.weight().value.Fill(1.0f);
+  TensorF x(Shape{1, 1, 3, 3, 3}, 1.0f);
+  const TensorF y = conv.Forward(x, false);
+  EXPECT_EQ(y.numel(), 1);
+  EXPECT_FLOAT_EQ(y[0], 27.0f);
+}
+
+TEST(Conv3dTest, BiasAdds) {
+  Rng rng(1);
+  Conv3dConfig cfg;
+  cfg.in_channels = 1;
+  cfg.out_channels = 2;
+  cfg.kernel = {1, 1, 1};
+  Conv3d conv(cfg, rng);
+  conv.weight().value.Fill(0.0f);
+  conv.bias()->value[0] = 1.5f;
+  conv.bias()->value[1] = -2.0f;
+  TensorF x(Shape{1, 1, 1, 2, 2}, 3.0f);
+  const TensorF y = conv.Forward(x, false);
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(y(0, 1, 0, 1, 1), -2.0f);
+}
+
+TEST(Conv3dTest, PaddingZeros) {
+  // With padding, corner output sees fewer input elements.
+  Rng rng(1);
+  Conv3dConfig cfg;
+  cfg.in_channels = 1;
+  cfg.out_channels = 1;
+  cfg.kernel = {1, 3, 3};
+  cfg.padding = {0, 1, 1};
+  cfg.bias = false;
+  Conv3d conv(cfg, rng);
+  conv.weight().value.Fill(1.0f);
+  TensorF x(Shape{1, 1, 1, 3, 3}, 1.0f);
+  const TensorF y = conv.Forward(x, false);
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 1, 1), 9.0f);  // center: full window
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 0, 0), 4.0f);  // corner: 2x2 visible
+}
+
+TEST(Conv3dTest, RejectsBadInput) {
+  Rng rng(1);
+  Conv3d conv(SmallConfig(), rng);
+  EXPECT_THROW(conv.Forward(TensorF(Shape{2, 5, 4, 5, 5}), false),
+               ShapeError);  // wrong channels
+  EXPECT_THROW(conv.Forward(TensorF(Shape{2, 2, 4, 5}), false),
+               ShapeError);  // wrong rank
+}
+
+TEST(Conv3dTest, BackwardBeforeForwardThrows) {
+  Rng rng(1);
+  Conv3d conv(SmallConfig(), rng);
+  EXPECT_THROW(conv.Backward(TensorF(Shape{1, 3, 1, 1, 1})), Error);
+}
+
+TEST(Conv3dTest, GradCheckInput) {
+  Rng rng(2);
+  Conv3dConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 2;
+  cfg.kernel = {2, 2, 2};
+  cfg.padding = {1, 0, 1};
+  Conv3d conv(cfg, rng);
+  TensorF x(Shape{2, 2, 3, 3, 3});
+  FillUniform(x, rng, -1.0f, 1.0f);
+  testing::CheckInputGradient(conv, x);
+}
+
+TEST(Conv3dTest, GradCheckParams) {
+  Rng rng(2);
+  Conv3dConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 3;
+  cfg.kernel = {2, 2, 2};
+  cfg.stride = {1, 1, 1};
+  Conv3d conv(cfg, rng);
+  TensorF x(Shape{2, 2, 3, 4, 4});
+  FillUniform(x, rng, -1.0f, 1.0f);
+  testing::CheckParamGradients(conv, x);
+}
+
+TEST(Conv3dTest, GradCheckStrided) {
+  Rng rng(3);
+  Conv3dConfig cfg;
+  cfg.in_channels = 1;
+  cfg.out_channels = 2;
+  cfg.kernel = {1, 3, 3};
+  cfg.stride = {1, 2, 2};
+  cfg.padding = {0, 1, 1};
+  Conv3d conv(cfg, rng);
+  TensorF x(Shape{1, 1, 2, 6, 6});
+  FillUniform(x, rng, -1.0f, 1.0f);
+  testing::CheckInputGradient(conv, x);
+  testing::CheckParamGradients(conv, x);
+}
+
+// Property sweep over kernel/stride/padding combinations: output extent
+// formula and gradient shapes stay consistent.
+struct ConvCase {
+  int64_t k, s, p, in;
+};
+
+class ConvShapeSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvShapeSweep, ForwardBackwardShapes) {
+  const ConvCase c = GetParam();
+  Rng rng(1);
+  Conv3dConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 2;
+  cfg.kernel = {c.k, c.k, c.k};
+  cfg.stride = {c.s, c.s, c.s};
+  cfg.padding = {c.p, c.p, c.p};
+  Conv3d conv(cfg, rng);
+  TensorF x(Shape{1, 2, c.in, c.in, c.in});
+  FillUniform(x, rng, -1.0f, 1.0f);
+  const TensorF y = conv.Forward(x, true);
+  const int64_t expected = (c.in + 2 * c.p - c.k) / c.s + 1;
+  EXPECT_EQ(y.dim(2), expected);
+  const TensorF dx = conv.Backward(y);
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvShapeSweep,
+    ::testing::Values(ConvCase{1, 1, 0, 4}, ConvCase{3, 1, 1, 4},
+                      ConvCase{3, 2, 1, 8}, ConvCase{2, 2, 0, 6},
+                      ConvCase{3, 1, 0, 5}, ConvCase{1, 2, 0, 7}));
+
+}  // namespace
+}  // namespace hwp3d

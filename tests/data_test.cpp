@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic_video.h"
+#include "tensor/tensor_ops.h"
+
+namespace hwp3d {
+namespace {
+
+using data::Motion;
+using data::Sample;
+using data::SyntheticVideoConfig;
+using data::SyntheticVideoDataset;
+
+SyntheticVideoConfig SmallCfg() {
+  SyntheticVideoConfig cfg;
+  cfg.num_classes = 10;
+  cfg.frames = 8;
+  cfg.height = 16;
+  cfg.width = 16;
+  cfg.noise_std = 0.0f;  // deterministic geometry for the motion tests
+  return cfg;
+}
+
+// Horizontal centroid of the bright pixels in one frame.
+double CentroidX(const TensorF& clip, int frame) {
+  double sx = 0.0, mass = 0.0;
+  const int64_t H = clip.dim(2), W = clip.dim(3);
+  for (int64_t y = 0; y < H; ++y)
+    for (int64_t x = 0; x < W; ++x) {
+      const double v = clip(0, frame, y, x);
+      if (v > 0.3) {
+        sx += static_cast<double>(x) * v;
+        mass += v;
+      }
+    }
+  return mass > 0.0 ? sx / mass : -1.0;
+}
+
+double CentroidY(const TensorF& clip, int frame) {
+  double sy = 0.0, mass = 0.0;
+  const int64_t H = clip.dim(2), W = clip.dim(3);
+  for (int64_t y = 0; y < H; ++y)
+    for (int64_t x = 0; x < W; ++x) {
+      const double v = clip(0, frame, y, x);
+      if (v > 0.3) {
+        sy += static_cast<double>(y) * v;
+        mass += v;
+      }
+    }
+  return mass > 0.0 ? sy / mass : -1.0;
+}
+
+double FrameMass(const TensorF& clip, int frame) {
+  double mass = 0.0;
+  const int64_t H = clip.dim(2), W = clip.dim(3);
+  for (int64_t y = 0; y < H; ++y)
+    for (int64_t x = 0; x < W; ++x) mass += clip(0, frame, y, x);
+  return mass;
+}
+
+TEST(SyntheticVideoTest, ShapesAndLabels) {
+  SyntheticVideoDataset ds(SmallCfg());
+  Rng rng(1);
+  const Sample s = ds.MakeSample(3, rng);
+  EXPECT_EQ(s.label, 3);
+  EXPECT_EQ(s.clip.shape(), (Shape{1, 8, 16, 16}));
+}
+
+TEST(SyntheticVideoTest, DeterministicGivenSeed) {
+  SyntheticVideoDataset ds(SmallCfg());
+  Rng a(42), b(42);
+  const Sample s1 = ds.MakeSample(0, a);
+  const Sample s2 = ds.MakeSample(0, b);
+  EXPECT_TRUE(AllClose(s1.clip, s2.clip, 0.0f, 0.0f));
+}
+
+TEST(SyntheticVideoTest, TranslateRightMovesCentroidRight) {
+  SyntheticVideoDataset ds(SmallCfg());
+  Rng rng(7);
+  const Sample s =
+      ds.MakeSample(static_cast<int>(Motion::kTranslateRight), rng);
+  EXPECT_GT(CentroidX(s.clip, 7), CentroidX(s.clip, 0) + 1.0);
+}
+
+TEST(SyntheticVideoTest, TranslateLeftMovesCentroidLeft) {
+  SyntheticVideoDataset ds(SmallCfg());
+  Rng rng(7);
+  const Sample s =
+      ds.MakeSample(static_cast<int>(Motion::kTranslateLeft), rng);
+  EXPECT_LT(CentroidX(s.clip, 7), CentroidX(s.clip, 0) - 1.0);
+}
+
+TEST(SyntheticVideoTest, TranslateDownMovesCentroidDown) {
+  SyntheticVideoDataset ds(SmallCfg());
+  Rng rng(8);
+  const Sample s =
+      ds.MakeSample(static_cast<int>(Motion::kTranslateDown), rng);
+  EXPECT_GT(CentroidY(s.clip, 7), CentroidY(s.clip, 0) + 1.0);
+}
+
+TEST(SyntheticVideoTest, ExpandGrowsMass) {
+  SyntheticVideoDataset ds(SmallCfg());
+  Rng rng(9);
+  const Sample s = ds.MakeSample(static_cast<int>(Motion::kExpand), rng);
+  EXPECT_GT(FrameMass(s.clip, 7), FrameMass(s.clip, 0) * 1.5);
+}
+
+TEST(SyntheticVideoTest, ContractShrinksMass) {
+  SyntheticVideoDataset ds(SmallCfg());
+  Rng rng(9);
+  const Sample s = ds.MakeSample(static_cast<int>(Motion::kContract), rng);
+  EXPECT_LT(FrameMass(s.clip, 7), FrameMass(s.clip, 0) * 0.7);
+}
+
+TEST(SyntheticVideoTest, BlinkAlternatesVisibility) {
+  SyntheticVideoDataset ds(SmallCfg());
+  Rng rng(10);
+  const Sample s = ds.MakeSample(static_cast<int>(Motion::kBlink), rng);
+  EXPECT_GT(FrameMass(s.clip, 0), 1.0);
+  EXPECT_NEAR(FrameMass(s.clip, 1), 0.0, 1e-6);
+  EXPECT_GT(FrameMass(s.clip, 2), 1.0);
+}
+
+TEST(SyntheticVideoTest, StaticStaysPut) {
+  SyntheticVideoDataset ds(SmallCfg());
+  Rng rng(11);
+  const Sample s = ds.MakeSample(static_cast<int>(Motion::kStatic), rng);
+  EXPECT_NEAR(CentroidX(s.clip, 0), CentroidX(s.clip, 7), 0.25);
+  EXPECT_NEAR(CentroidY(s.clip, 0), CentroidY(s.clip, 7), 0.25);
+}
+
+// The classifier-relevant property: motion classes cannot be told apart
+// from any single frame (a right-mover's first frame is a square, just
+// like a left-mover's), so the dataset forces temporal reasoning.
+TEST(SyntheticVideoTest, FirstFramesAmbiguousAcrossTranslationClasses) {
+  SyntheticVideoConfig cfg = SmallCfg();
+  SyntheticVideoDataset ds(cfg);
+  // Same rng state => same shape parameters; only the motion differs.
+  Rng a(123), b(123);
+  const Sample right =
+      ds.MakeSample(static_cast<int>(Motion::kTranslateRight), a);
+  const Sample left =
+      ds.MakeSample(static_cast<int>(Motion::kTranslateLeft), b);
+  // Frame 0 is identical; later frames diverge.
+  double diff0 = 0.0, diff7 = 0.0;
+  for (int64_t y = 0; y < cfg.height; ++y)
+    for (int64_t x = 0; x < cfg.width; ++x) {
+      diff0 += std::fabs(right.clip(0, 0, y, x) - left.clip(0, 0, y, x));
+      diff7 += std::fabs(right.clip(0, 7, y, x) - left.clip(0, 7, y, x));
+    }
+  EXPECT_NEAR(diff0, 0.0, 1e-6);
+  EXPECT_GT(diff7, 1.0);
+}
+
+TEST(SyntheticVideoTest, MakeSamplesBalancedLabels) {
+  SyntheticVideoDataset ds(SmallCfg());
+  Rng rng(5);
+  const auto samples = ds.MakeSamples(100, rng);
+  std::vector<int> counts(10, 0);
+  for (const auto& s : samples) counts[static_cast<size_t>(s.label)]++;
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(SyntheticVideoTest, BatchesCoverAllSamples) {
+  SyntheticVideoDataset ds(SmallCfg());
+  Rng rng(6);
+  const auto batches = ds.MakeBatches(25, 8, rng);
+  ASSERT_EQ(batches.size(), 4u);  // 8+8+8+1
+  EXPECT_EQ(batches[0].clips.dim(0), 8);
+  EXPECT_EQ(batches[3].clips.dim(0), 1);
+  EXPECT_EQ(batches[0].clips.rank(), 5);
+  int64_t total = 0;
+  for (const auto& b : batches) total += b.clips.dim(0);
+  EXPECT_EQ(total, 25);
+}
+
+TEST(SyntheticVideoTest, NoiseChangesClip) {
+  SyntheticVideoConfig cfg = SmallCfg();
+  cfg.noise_std = 0.1f;
+  SyntheticVideoDataset ds(cfg);
+  Rng a(3), b(4);
+  const Sample s1 = ds.MakeSample(0, a);
+  const Sample s2 = ds.MakeSample(0, b);
+  EXPECT_FALSE(AllClose(s1.clip, s2.clip, 0.0f, 1e-4f));
+}
+
+TEST(SyntheticVideoTest, RejectsBadConfig) {
+  SyntheticVideoConfig cfg = SmallCfg();
+  cfg.num_classes = 1;
+  EXPECT_THROW(SyntheticVideoDataset{cfg}, Error);
+  cfg = SmallCfg();
+  cfg.frames = 1;
+  EXPECT_THROW(SyntheticVideoDataset{cfg}, Error);
+}
+
+TEST(SyntheticVideoTest, RejectsBadLabel) {
+  SyntheticVideoDataset ds(SmallCfg());
+  Rng rng(1);
+  EXPECT_THROW(ds.MakeSample(-1, rng), Error);
+  EXPECT_THROW(ds.MakeSample(10, rng), Error);
+}
+
+TEST(MotionNameTest, AllNamed) {
+  for (int m = 0; m < 10; ++m) {
+    EXPECT_NE(data::MotionName(static_cast<Motion>(m)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace hwp3d

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "fpga/dse.h"
+
+namespace hwp3d {
+namespace {
+
+using fpga::DseOptions;
+using fpga::DseResult;
+using fpga::ExploreDesignSpace;
+
+TEST(DseTest, FindsFeasibleCandidatesOnZcu102) {
+  const auto spec = models::MakeR2Plus1DSpec();
+  DseOptions opt;
+  const DseResult r = ExploreDesignSpace({&spec}, {}, fpga::Zcu102(), opt);
+  EXPECT_GT(r.evaluated, 0u);
+  ASSERT_FALSE(r.best.empty());
+  EXPECT_LE(r.best.size(), opt.top_k);
+  for (const auto& c : r.best) {
+    EXPECT_TRUE(c.feasible);
+    EXPECT_LE(c.usage.bram36_eq18, fpga::Zcu102().bram36);
+    EXPECT_LE(c.usage.dsp, fpga::Zcu102().dsp);
+  }
+}
+
+TEST(DseTest, CandidatesSortedByLatency) {
+  const auto spec = models::MakeR2Plus1DSpec();
+  const DseResult r =
+      ExploreDesignSpace({&spec}, {}, fpga::Zcu102(), DseOptions{});
+  for (size_t i = 1; i < r.best.size(); ++i) {
+    EXPECT_LE(r.best[i - 1].cycles, r.best[i].cycles);
+  }
+}
+
+TEST(DseTest, BestNoWorseThanPaperTiling) {
+  const auto spec = models::MakeR2Plus1DSpec();
+  DseOptions opt;
+  const DseResult r = ExploreDesignSpace({&spec}, {}, fpga::Zcu102(), opt);
+  ASSERT_FALSE(r.best.empty());
+  fpga::PerfModel paper(fpga::PaperTilingTn16(), opt.ports);
+  EXPECT_LE(r.best[0].cycles, paper.NetworkCycles(spec).cycles);
+}
+
+TEST(DseTest, SmallerDeviceRulesOutBigTiles) {
+  const auto spec = models::MakeR2Plus1DSpec();
+  DseOptions opt;
+  const DseResult big = ExploreDesignSpace({&spec}, {}, fpga::Zcu102(), opt);
+  const DseResult small = ExploreDesignSpace({&spec}, {}, fpga::Zc706(), opt);
+  EXPECT_GT(small.infeasible, big.infeasible);
+  // ZC706 has 900 DSPs: every survivor respects that.
+  for (const auto& c : small.best) {
+    EXPECT_LE(c.usage.dsp, 900);
+  }
+}
+
+TEST(DseTest, MasksReduceBestLatencyWhenConfigMatches) {
+  auto spec = models::MakeR2Plus1DSpec();
+  models::ApplyPaperPruningTargets(spec);
+  const fpga::SpecMasks masks = fpga::GenerateSpecMasks(spec, {64, 8});
+  DseOptions opt;
+  opt.Tm = {64};
+  opt.Tn = {8};
+  opt.Td = {4};
+  opt.Tr = {14};
+  opt.Tc = {14};
+  const DseResult dense =
+      ExploreDesignSpace({&spec}, {}, fpga::Zcu102(), opt);
+  const DseResult pruned =
+      ExploreDesignSpace({&spec}, {&masks}, fpga::Zcu102(), opt);
+  ASSERT_EQ(dense.best.size(), 1u);
+  ASSERT_EQ(pruned.best.size(), 1u);
+  EXPECT_LT(pruned.best[0].cycles, dense.best[0].cycles);
+}
+
+TEST(DseTest, MultiNetworkSumsCycles) {
+  const auto r2p1d = models::MakeR2Plus1DSpec();
+  const auto c3d = models::MakeC3DSpec();
+  DseOptions opt;
+  opt.Tm = {64};
+  opt.Tn = {8};
+  opt.Td = {4};
+  opt.Tr = {14};
+  opt.Tc = {14};
+  const DseResult one = ExploreDesignSpace({&r2p1d}, {}, fpga::Zcu102(), opt);
+  const DseResult two =
+      ExploreDesignSpace({&r2p1d, &c3d}, {}, fpga::Zcu102(), opt);
+  ASSERT_FALSE(one.best.empty());
+  ASSERT_FALSE(two.best.empty());
+  EXPECT_GT(two.best[0].cycles, one.best[0].cycles);
+}
+
+TEST(DseTest, RejectsBadArguments) {
+  EXPECT_THROW(ExploreDesignSpace({}, {}, fpga::Zcu102(), DseOptions{}),
+               Error);
+  const auto spec = models::MakeR2Plus1DSpec();
+  const fpga::SpecMasks masks = fpga::GenerateSpecMasks(spec, {64, 8});
+  EXPECT_THROW(ExploreDesignSpace({&spec, &spec}, {&masks}, fpga::Zcu102(),
+                                  DseOptions{}),
+               Error);
+}
+
+}  // namespace
+}  // namespace hwp3d

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "fixed/fixed_point.h"
+#include "fixed/quantize.h"
+#include "tensor/init.h"
+
+namespace hwp3d {
+namespace {
+
+TEST(Fixed16Test, ExactValuesRoundTrip) {
+  // Multiples of 1/256 are exactly representable in Q7.8.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, -0.25f, 127.0f, -128.0f, 3.75f}) {
+    EXPECT_FLOAT_EQ(Fixed16::FromFloat(v).ToFloat(), v) << v;
+  }
+}
+
+TEST(Fixed16Test, RoundsToNearest) {
+  const float eps = Fixed16::Epsilon();  // 1/256
+  EXPECT_FLOAT_EQ(Fixed16::FromFloat(0.4f * eps).ToFloat(), 0.0f);
+  EXPECT_FLOAT_EQ(Fixed16::FromFloat(0.6f * eps).ToFloat(), eps);
+  EXPECT_FLOAT_EQ(Fixed16::FromFloat(-0.6f * eps).ToFloat(), -eps);
+}
+
+TEST(Fixed16Test, SaturatesAtRange) {
+  EXPECT_FLOAT_EQ(Fixed16::FromFloat(500.0f).ToFloat(), Fixed16::MaxValue());
+  EXPECT_FLOAT_EQ(Fixed16::FromFloat(-500.0f).ToFloat(), Fixed16::MinValue());
+  EXPECT_NEAR(Fixed16::MaxValue(), 128.0f, 0.01f);
+  EXPECT_FLOAT_EQ(Fixed16::MinValue(), -128.0f);
+}
+
+TEST(Fixed16Test, AdditionExact) {
+  const Fixed16 a = Fixed16::FromFloat(1.25f);
+  const Fixed16 b = Fixed16::FromFloat(2.5f);
+  EXPECT_FLOAT_EQ((a + b).ToFloat(), 3.75f);
+  EXPECT_FLOAT_EQ((a - b).ToFloat(), -1.25f);
+  EXPECT_FLOAT_EQ((-a).ToFloat(), -1.25f);
+}
+
+TEST(Fixed16Test, AdditionSaturates) {
+  const Fixed16 big = Fixed16::FromFloat(127.0f);
+  EXPECT_FLOAT_EQ((big + big).ToFloat(), Fixed16::MaxValue());
+  const Fixed16 low = Fixed16::FromFloat(-127.0f);
+  EXPECT_FLOAT_EQ((low + low).ToFloat(), Fixed16::MinValue());
+}
+
+TEST(Fixed16Test, MultiplicationExactOnRepresentable) {
+  const Fixed16 a = Fixed16::FromFloat(1.5f);
+  const Fixed16 b = Fixed16::FromFloat(2.0f);
+  EXPECT_FLOAT_EQ((a * b).ToFloat(), 3.0f);
+  const Fixed16 c = Fixed16::FromFloat(-0.5f);
+  EXPECT_FLOAT_EQ((a * c).ToFloat(), -0.75f);
+}
+
+TEST(Fixed16Test, MultiplicationRoundsProduct) {
+  // (1/256) * (1/256) = 1/65536 rounds to 0 in Q7.8... but
+  // (1/16)*(1/16) = 1/256 is exact.
+  const Fixed16 eps = Fixed16::FromFloat(Fixed16::Epsilon());
+  EXPECT_FLOAT_EQ((eps * eps).ToFloat(), 0.0f);
+  const Fixed16 s = Fixed16::FromFloat(1.0f / 16.0f);
+  EXPECT_FLOAT_EQ((s * s).ToFloat(), 1.0f / 256.0f);
+}
+
+TEST(Fixed16Test, Comparisons) {
+  const Fixed16 a = Fixed16::FromFloat(1.0f);
+  const Fixed16 b = Fixed16::FromFloat(2.0f);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(a == Fixed16::FromFloat(1.0f));
+  EXPECT_TRUE(a != b);
+}
+
+TEST(Fixed16Test, CompoundOps) {
+  Fixed16 v = Fixed16::FromFloat(1.0f);
+  v += Fixed16::FromFloat(0.5f);
+  v *= Fixed16::FromFloat(2.0f);
+  v -= Fixed16::FromFloat(1.0f);
+  EXPECT_FLOAT_EQ(v.ToFloat(), 2.0f);
+}
+
+TEST(FixedAccumTest, MatchesWideProductSum) {
+  // Accumulating many products must not lose precision until narrowing.
+  FixedAccum acc;
+  const Fixed16 a = Fixed16::FromFloat(0.1f);  // ~25.6/256, rounds to 26
+  const Fixed16 b = Fixed16::FromFloat(0.1f);
+  for (int i = 0; i < 1000; ++i) acc.MulAdd(a, b);
+  // exact: 1000 * (26 * 26) / 256 / 256 = 10.31...
+  const double expected = 1000.0 * 26 * 26 / 65536.0;
+  EXPECT_NEAR(acc.ToFixed16().ToFloat(), expected, 0.01);
+}
+
+TEST(FixedAccumTest, SplitAccumulationIsAssociative) {
+  // Summing partial accumulators equals one long accumulation — the
+  // property that makes the tiled simulator bit-identical to the dense
+  // reference.
+  Rng rng(9);
+  std::vector<Fixed16> xs, ys;
+  for (int i = 0; i < 64; ++i) {
+    xs.push_back(Fixed16::FromFloat(static_cast<float>(rng.Uniform(-2, 2))));
+    ys.push_back(Fixed16::FromFloat(static_cast<float>(rng.Uniform(-2, 2))));
+  }
+  FixedAccum whole;
+  for (int i = 0; i < 64; ++i) whole.MulAdd(xs[i], ys[i]);
+  FixedAccum part1, part2;
+  for (int i = 0; i < 32; ++i) part1.MulAdd(xs[i], ys[i]);
+  for (int i = 32; i < 64; ++i) part2.MulAdd(xs[i], ys[i]);
+  part1.Add(part2);
+  EXPECT_EQ(whole.raw(), part1.raw());
+  EXPECT_EQ(whole.ToFixed16().raw(), part1.ToFixed16().raw());
+}
+
+TEST(FixedAccumTest, AddFixedMatchesScale) {
+  FixedAccum acc;
+  acc.AddFixed(Fixed16::FromFloat(2.5f));
+  EXPECT_FLOAT_EQ(acc.ToFixed16().ToFloat(), 2.5f);
+}
+
+TEST(FixedAccumTest, NarrowingSaturates) {
+  FixedAccum acc;
+  const Fixed16 big = Fixed16::FromFloat(100.0f);
+  for (int i = 0; i < 10; ++i) acc.MulAdd(big, big);  // 100000 >> max
+  EXPECT_FLOAT_EQ(acc.ToFixed16().ToFloat(), Fixed16::MaxValue());
+}
+
+TEST(QuantizeTest, TensorRoundTripWithinEpsilon) {
+  Rng rng(4);
+  TensorF t(Shape{100});
+  FillUniform(t, rng, -10.0f, 10.0f);
+  const TensorQ q = Quantize(t);
+  const TensorF back = Dequantize(q);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_NEAR(back[i], t[i], Fixed16::Epsilon() / 2.0f + 1e-6f);
+  }
+}
+
+TEST(QuantizeTest, StatsBoundedByHalfEpsilon) {
+  Rng rng(4);
+  TensorF t(Shape{1000});
+  FillUniform(t, rng, -100.0f, 100.0f);
+  const QuantStats stats = MeasureQuantization(t);
+  EXPECT_LE(stats.max_abs_error, Fixed16::Epsilon() / 2.0f + 1e-6f);
+  EXPECT_EQ(stats.saturated, 0);
+}
+
+TEST(QuantizeTest, CountsSaturation) {
+  TensorF t(Shape{3}, std::vector<float>{0.0f, 1000.0f, -1000.0f});
+  const QuantStats stats = MeasureQuantization(t);
+  EXPECT_EQ(stats.saturated, 2);
+}
+
+// Property sweep: quantization error never exceeds half an LSB for
+// in-range values, across magnitudes.
+class QuantizeSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(QuantizeSweep, ErrorWithinHalfLsb) {
+  const float v = GetParam();
+  const Fixed16 q = Fixed16::FromFloat(v);
+  EXPECT_NEAR(q.ToFloat(), v, Fixed16::Epsilon() / 2.0f + 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(InRangeValues, QuantizeSweep,
+                         ::testing::Values(0.0f, 0.001f, -0.001f, 0.33f,
+                                           -0.66f, 1.0f, -1.5f, 12.345f,
+                                           -99.99f, 127.49f, -127.99f));
+
+}  // namespace
+}  // namespace hwp3d

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace hwp3d {
+namespace {
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(1);
+  TensorF logits(Shape{4, 7});
+  FillUniform(logits, rng, -5.0f, 5.0f);
+  const TensorF p = nn::Softmax(logits);
+  for (int64_t b = 0; b < 4; ++b) {
+    double s = 0.0;
+    for (int64_t k = 0; k < 7; ++k) {
+      EXPECT_GT(p(b, k), 0.0f);
+      s += p(b, k);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, StableForLargeLogits) {
+  TensorF logits(Shape{1, 2}, std::vector<float>{1000.0f, 1000.0f});
+  const TensorF p = nn::Softmax(logits);
+  EXPECT_NEAR(p(0, 0), 0.5f, 1e-5f);
+}
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogK) {
+  TensorF logits(Shape{2, 4}, 0.0f);
+  const nn::LossResult r = nn::SoftmaxCrossEntropy(logits, {0, 3}, 0.0f);
+  EXPECT_NEAR(r.loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(CrossEntropyTest, PerfectPredictionLowLoss) {
+  TensorF logits(Shape{1, 3}, std::vector<float>{20.0f, 0.0f, 0.0f});
+  const nn::LossResult r = nn::SoftmaxCrossEntropy(logits, {0}, 0.0f);
+  EXPECT_LT(r.loss, 1e-3f);
+  EXPECT_EQ(r.correct, 1);
+}
+
+TEST(CrossEntropyTest, GradientSumsToZeroPerRow) {
+  // d/dlogits of CE sums to zero row-wise (softmax minus target).
+  Rng rng(2);
+  TensorF logits(Shape{3, 5});
+  FillUniform(logits, rng, -2.0f, 2.0f);
+  const nn::LossResult r = nn::SoftmaxCrossEntropy(logits, {1, 4, 0}, 0.0f);
+  for (int64_t b = 0; b < 3; ++b) {
+    double s = 0.0;
+    for (int64_t k = 0; k < 5; ++k) s += r.grad(b, k);
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropyTest, GradientMatchesFiniteDifference) {
+  Rng rng(3);
+  TensorF logits(Shape{2, 4});
+  FillUniform(logits, rng, -1.0f, 1.0f);
+  const std::vector<int> labels = {2, 0};
+  const float smoothing = 0.1f;
+  const nn::LossResult r = nn::SoftmaxCrossEntropy(logits, labels, smoothing);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    TensorF lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const float fp = nn::SoftmaxCrossEntropy(lp, labels, smoothing).loss;
+    const float fm = nn::SoftmaxCrossEntropy(lm, labels, smoothing).loss;
+    EXPECT_NEAR(r.grad[i], (fp - fm) / (2 * eps), 2e-3f) << "index " << i;
+  }
+}
+
+TEST(CrossEntropyTest, SmoothingRaisesPerfectLoss) {
+  TensorF logits(Shape{1, 4}, std::vector<float>{30.0f, 0.0f, 0.0f, 0.0f});
+  const float plain = nn::SoftmaxCrossEntropy(logits, {0}, 0.0f).loss;
+  const float smooth = nn::SoftmaxCrossEntropy(logits, {0}, 0.2f).loss;
+  EXPECT_GT(smooth, plain);
+}
+
+TEST(CrossEntropyTest, RejectsBadInputs) {
+  TensorF logits(Shape{2, 3});
+  EXPECT_THROW(nn::SoftmaxCrossEntropy(logits, {0}, 0.0f), Error);
+  EXPECT_THROW(nn::SoftmaxCrossEntropy(logits, {0, 5}, 0.0f), Error);
+  EXPECT_THROW(nn::SoftmaxCrossEntropy(logits, {0, 1}, 1.5f), Error);
+}
+
+TEST(SgdTest, PlainStepDescends) {
+  nn::Param p("w", Shape{2});
+  p.value[0] = 1.0f;
+  p.value[1] = -2.0f;
+  p.grad[0] = 0.5f;
+  p.grad[1] = -0.5f;
+  nn::Sgd opt({&p}, {.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.0f});
+  opt.Step();
+  EXPECT_FLOAT_EQ(p.value[0], 0.95f);
+  EXPECT_FLOAT_EQ(p.value[1], -1.95f);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  nn::Param p("w", Shape{1});
+  p.value[0] = 0.0f;
+  nn::Sgd opt({&p}, {.lr = 1.0f, .momentum = 0.5f, .weight_decay = 0.0f});
+  p.grad[0] = 1.0f;
+  opt.Step();  // v=1, w=-1
+  EXPECT_FLOAT_EQ(p.value[0], -1.0f);
+  p.grad[0] = 1.0f;
+  opt.Step();  // v=1.5, w=-2.5
+  EXPECT_FLOAT_EQ(p.value[0], -2.5f);
+}
+
+TEST(SgdTest, WeightDecayShrinks) {
+  nn::Param p("w", Shape{1});
+  p.value[0] = 10.0f;
+  p.grad[0] = 0.0f;
+  nn::Sgd opt({&p}, {.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.1f});
+  opt.Step();
+  EXPECT_NEAR(p.value[0], 10.0f - 0.1f * (0.1f * 10.0f), 1e-6f);
+}
+
+TEST(SgdTest, MinimizesQuadratic) {
+  // f(w) = (w - 3)^2; grad = 2(w-3). Should converge to 3.
+  nn::Param p("w", Shape{1});
+  p.value[0] = -5.0f;
+  nn::Sgd opt({&p}, {.lr = 0.1f, .momentum = 0.9f, .weight_decay = 0.0f});
+  for (int i = 0; i < 200; ++i) {
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    opt.Step();
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 1e-3f);
+}
+
+TEST(ScheduleTest, ConstantLr) {
+  nn::ConstantLr s(0.01f);
+  EXPECT_FLOAT_EQ(s.LrAt(0), 0.01f);
+  EXPECT_FLOAT_EQ(s.LrAt(100), 0.01f);
+}
+
+TEST(ScheduleTest, StepLrDecays) {
+  nn::StepLr s(1.0f, 10, 0.1f);
+  EXPECT_FLOAT_EQ(s.LrAt(0), 1.0f);
+  EXPECT_FLOAT_EQ(s.LrAt(9), 1.0f);
+  EXPECT_FLOAT_EQ(s.LrAt(10), 0.1f);
+  EXPECT_NEAR(s.LrAt(25), 0.01f, 1e-6f);
+}
+
+TEST(ScheduleTest, WarmupCosineShape) {
+  nn::WarmupCosineLr s(1.0f, 5, 50);
+  // Warmup ramps linearly.
+  EXPECT_NEAR(s.LrAt(0), 0.2f, 1e-5f);
+  EXPECT_NEAR(s.LrAt(4), 1.0f, 1e-5f);
+  // Peak right after warmup, decaying to ~0 at the end.
+  EXPECT_NEAR(s.LrAt(5), 1.0f, 1e-5f);
+  EXPECT_GT(s.LrAt(20), s.LrAt(40));
+  EXPECT_NEAR(s.LrAt(50), 0.0f, 1e-4f);
+}
+
+TEST(ScheduleTest, WarmupCosineRespectsMinLr) {
+  nn::WarmupCosineLr s(1.0f, 0, 10, 0.1f);
+  EXPECT_NEAR(s.LrAt(10), 0.1f, 1e-5f);
+  EXPECT_GE(s.LrAt(9), 0.1f);
+}
+
+}  // namespace
+}  // namespace hwp3d

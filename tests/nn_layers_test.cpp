@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/activations.h"
+#include "nn/batchnorm3d.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/pool3d.h"
+#include "tensor/init.h"
+#include "tensor/tensor_ops.h"
+#include "testing/gradcheck.h"
+
+namespace hwp3d {
+namespace {
+
+TEST(ReLUTest, ForwardClampsNegatives) {
+  nn::ReLU relu;
+  TensorF x(Shape{4}, std::vector<float>{-1.0f, 0.0f, 2.0f, -0.5f});
+  const TensorF y = relu.Forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  EXPECT_FLOAT_EQ(y[3], 0.0f);
+}
+
+TEST(ReLUTest, BackwardGatesGradient) {
+  nn::ReLU relu;
+  TensorF x(Shape{3}, std::vector<float>{-1.0f, 1.0f, 3.0f});
+  relu.Forward(x, true);
+  TensorF dy(Shape{3}, std::vector<float>{5.0f, 5.0f, 5.0f});
+  const TensorF dx = relu.Backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+  EXPECT_FLOAT_EQ(dx[1], 5.0f);
+  EXPECT_FLOAT_EQ(dx[2], 5.0f);
+}
+
+TEST(BatchNormTest, NormalizesTrainBatch) {
+  Rng rng(1);
+  nn::BatchNorm3d bn(2);
+  TensorF x(Shape{4, 2, 2, 3, 3});
+  FillNormal(x, rng, 5.0f, 2.0f);
+  const TensorF y = bn.Forward(x, true);
+  // Per-channel mean ~0, var ~1 after normalization (gamma=1, beta=0).
+  for (int64_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sq = 0.0;
+    int64_t count = 0;
+    for (int64_t b = 0; b < 4; ++b)
+      for (int64_t d = 0; d < 2; ++d)
+        for (int64_t h = 0; h < 3; ++h)
+          for (int64_t w = 0; w < 3; ++w) {
+            const double v = y(b, c, d, h, w);
+            sum += v;
+            sq += v * v;
+            ++count;
+          }
+    const double mean = sum / count;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / count - mean * mean, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, RunningStatsConvergeToDataStats) {
+  Rng rng(2);
+  nn::BatchNorm3d bn(1, "bn", 1e-5f, 0.5f);
+  for (int step = 0; step < 30; ++step) {
+    TensorF x(Shape{8, 1, 2, 4, 4});
+    FillNormal(x, rng, 3.0f, 1.5f);
+    bn.Forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 3.0f, 0.3f);
+  EXPECT_NEAR(bn.running_var()[0], 2.25f, 0.5f);
+}
+
+TEST(BatchNormTest, EvalUsesRunningStats) {
+  Rng rng(3);
+  nn::BatchNorm3d bn(1, "bn", 1e-5f, 1.0f);  // momentum 1: adopt batch stats
+  TensorF x(Shape{8, 1, 2, 4, 4});
+  FillNormal(x, rng, -2.0f, 1.0f);
+  bn.Forward(x, true);
+  // Eval on the same data should now produce ~standardized output.
+  const TensorF y = bn.Forward(x, false);
+  EXPECT_NEAR(Mean(y), 0.0f, 0.05f);
+}
+
+TEST(BatchNormTest, GradCheck) {
+  Rng rng(4);
+  nn::BatchNorm3d bn(3);
+  TensorF x(Shape{3, 3, 2, 3, 3});
+  FillUniform(x, rng, -2.0f, 2.0f);
+  testing::CheckInputGradient(bn, x);
+  testing::CheckParamGradients(bn, x);
+}
+
+TEST(BatchNormTest, FoldedAffineMatchesEval) {
+  Rng rng(5);
+  nn::BatchNorm3d bn(2, "bn", 1e-5f, 1.0f);
+  TensorF x(Shape{4, 2, 2, 3, 3});
+  FillNormal(x, rng, 1.0f, 2.0f);
+  bn.Forward(x, true);  // adopt stats
+  bn.gamma().value[0] = 1.5f;
+  bn.beta().value[1] = -0.5f;
+
+  TensorF scale, shift;
+  bn.FoldedAffine(scale, shift);
+  const TensorF y = bn.Forward(x, false);
+  for (int64_t b = 0; b < 4; ++b)
+    for (int64_t c = 0; c < 2; ++c)
+      for (int64_t d = 0; d < 2; ++d)
+        EXPECT_NEAR(y(b, c, d, 0, 0),
+                    scale[c] * x(b, c, d, 0, 0) + shift[c], 1e-4f);
+}
+
+TEST(MaxPoolTest, SelectsWindowMax) {
+  nn::MaxPool3d pool(nn::Pool3dConfig{{1, 2, 2}, {1, 2, 2}});
+  TensorF x(Shape{1, 1, 1, 2, 2});
+  x(0, 0, 0, 0, 0) = 1.0f;
+  x(0, 0, 0, 0, 1) = 4.0f;
+  x(0, 0, 0, 1, 0) = -2.0f;
+  x(0, 0, 0, 1, 1) = 0.5f;
+  const TensorF y = pool.Forward(x, false);
+  EXPECT_EQ(y.numel(), 1);
+  EXPECT_FLOAT_EQ(y[0], 4.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  nn::MaxPool3d pool(nn::Pool3dConfig{{1, 2, 2}, {1, 2, 2}});
+  TensorF x(Shape{1, 1, 1, 2, 2});
+  x(0, 0, 0, 0, 1) = 9.0f;
+  pool.Forward(x, true);
+  TensorF dy(Shape{1, 1, 1, 1, 1}, 3.0f);
+  const TensorF dx = pool.Backward(dy);
+  EXPECT_FLOAT_EQ(dx(0, 0, 0, 0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(dx(0, 0, 0, 0, 0), 0.0f);
+}
+
+TEST(AvgPoolTest, AveragesWindow) {
+  nn::AvgPool3d pool(nn::Pool3dConfig{{2, 2, 2}, {2, 2, 2}});
+  TensorF x(Shape{1, 1, 2, 2, 2}, 1.0f);
+  x(0, 0, 0, 0, 0) = 9.0f;
+  const TensorF y = pool.Forward(x, false);
+  EXPECT_EQ(y.numel(), 1);
+  EXPECT_FLOAT_EQ(y[0], (9.0f + 7.0f) / 8.0f);
+}
+
+TEST(AvgPoolTest, GradCheck) {
+  Rng rng(6);
+  nn::AvgPool3d pool(nn::Pool3dConfig{{2, 2, 2}, {2, 2, 2}});
+  TensorF x(Shape{2, 2, 4, 4, 4});
+  FillUniform(x, rng, -1.0f, 1.0f);
+  testing::CheckInputGradient(pool, x);
+}
+
+TEST(GlobalAvgPoolTest, ReducesToChannels) {
+  nn::GlobalAvgPool3d gap;
+  TensorF x(Shape{2, 3, 2, 2, 2}, 2.0f);
+  const TensorF y = gap.Forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(y(1, 2), 2.0f);
+}
+
+TEST(GlobalAvgPoolTest, GradCheck) {
+  Rng rng(7);
+  nn::GlobalAvgPool3d gap;
+  TensorF x(Shape{2, 3, 2, 3, 3});
+  FillUniform(x, rng, -1.0f, 1.0f);
+  testing::CheckInputGradient(gap, x);
+}
+
+TEST(LinearTest, ComputesAffine) {
+  Rng rng(8);
+  nn::Linear fc(2, 2, rng);
+  fc.weight().value(0, 0) = 1.0f;
+  fc.weight().value(0, 1) = 2.0f;
+  fc.weight().value(1, 0) = -1.0f;
+  fc.weight().value(1, 1) = 0.0f;
+  fc.bias().value[0] = 0.5f;
+  fc.bias().value[1] = 0.0f;
+  TensorF x(Shape{1, 2}, std::vector<float>{3.0f, 4.0f});
+  const TensorF y = fc.Forward(x, false);
+  EXPECT_FLOAT_EQ(y(0, 0), 3.0f + 8.0f + 0.5f);
+  EXPECT_FLOAT_EQ(y(0, 1), -3.0f);
+}
+
+TEST(LinearTest, GradCheck) {
+  Rng rng(9);
+  nn::Linear fc(5, 3, rng);
+  TensorF x(Shape{4, 5});
+  FillUniform(x, rng, -1.0f, 1.0f);
+  testing::CheckInputGradient(fc, x);
+  testing::CheckParamGradients(fc, x);
+}
+
+TEST(SequentialTest, ChainsForwardAndBackward) {
+  Rng rng(10);
+  nn::Sequential seq;
+  seq.Emplace<nn::Linear>(4, 8, rng, "fc1");
+  seq.Emplace<nn::ReLU>();
+  seq.Emplace<nn::Linear>(8, 2, rng, "fc2");
+  TensorF x(Shape{3, 4});
+  FillUniform(x, rng, -1.0f, 1.0f);
+  const TensorF y = seq.Forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{3, 2}));
+  const TensorF dx = seq.Backward(TensorF(y.shape(), 1.0f));
+  EXPECT_EQ(dx.shape(), x.shape());
+  EXPECT_EQ(seq.Params().size(), 4u);  // 2 weights + 2 biases
+}
+
+TEST(SequentialTest, ZeroGradClearsAll) {
+  Rng rng(11);
+  nn::Sequential seq;
+  seq.Emplace<nn::Linear>(2, 2, rng);
+  TensorF x(Shape{1, 2}, 1.0f);
+  seq.Forward(x, true);
+  seq.Backward(TensorF(Shape{1, 2}, 1.0f));
+  seq.ZeroGrad();
+  for (nn::Param* p : seq.Params()) {
+    EXPECT_FLOAT_EQ(MaxAbs(p->grad), 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace hwp3d

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "core/block_partition.h"
+#include "fpga/perf_model.h"
+#include "models/network_spec.h"
+
+namespace hwp3d {
+namespace {
+
+using core::BlockMask;
+using core::BlockPartition;
+using fpga::LayerLatency;
+using fpga::PerfModel;
+using fpga::Ports;
+using fpga::Tiling;
+using models::ConvLayerSpec;
+
+ConvLayerSpec SmallLayer() {
+  // M=8, N=8, 3x3x3 kernel, stride 1, output 4x14x14 (exactly one tile
+  // with the paper's (Td,Tr,Tc)).
+  ConvLayerSpec l;
+  l.name = "small";
+  l.M = 8;
+  l.N = 8;
+  l.Kd = l.Kr = l.Kc = 3;
+  l.Sd = l.Sr = l.Sc = 1;
+  l.D = 4;
+  l.R = l.C = 14;
+  return l;
+}
+
+TEST(PerfModelTest, HandComputedDenseCase) {
+  // Tiling (Tm=8, Tn=8, Td=4, Tr=14, Tc=14), ports 8/8/8.
+  const Tiling t{8, 8, 4, 14, 14};
+  const Ports p{8, 8, 8};
+  PerfModel pm(t, p);
+  const LayerLatency lat = pm.LayerCycles(SmallLayer());
+  // Eq. 19: t_wgt = 8*8*27/8 = 216.
+  EXPECT_EQ(lat.t_wgt, 216);
+  // Eq. 20: T' = (4-1)*1+3=6, (14-1)*1+3=16 -> t_in = 8*6*16*16/8 = 1536.
+  EXPECT_EQ(lat.t_in, 1536);
+  // Eq. 21: t_out = 8*4*14*14/8 = 784.
+  EXPECT_EQ(lat.t_out, 784);
+  // Eq. 22: t_comp = 27*4*14*14 = 21168.
+  EXPECT_EQ(lat.t_comp, 21168);
+  // Eq. 23: compute-bound.
+  EXPECT_EQ(lat.t_L3, 21168);
+  // Eq. 24: ceil(N/Tn)=1 -> t_L2 = 21168*1 + 21168 = 42336 > t_out.
+  // Eq. 25: 1 spatial tile x 1 m-block x t_L2 + t_out.
+  EXPECT_EQ(lat.cycles, 42336 + 784);
+  EXPECT_EQ(lat.tile_iterations, 1);
+  EXPECT_EQ(lat.blocks_loaded, 1);
+  EXPECT_EQ(lat.blocks_skipped, 0);
+}
+
+TEST(PerfModelTest, LoadBoundWhenPortsNarrow) {
+  const Tiling t{8, 8, 4, 14, 14};
+  const Ports p{1, 1, 8};  // starve the input port
+  PerfModel pm(t, p);
+  const LayerLatency lat = pm.LayerCycles(SmallLayer());
+  // t_in = 8*6*16*16 = 12288 < t_comp, t_wgt = 1728 -> still compute
+  // bound; shrink tile to make loading dominate.
+  EXPECT_EQ(lat.t_L3, std::max<int64_t>({lat.t_wgt, lat.t_in, lat.t_comp}));
+
+  const Tiling t2{8, 8, 1, 1, 1};
+  PerfModel pm2(t2, p);
+  const LayerLatency lat2 = pm2.LayerCycles(SmallLayer());
+  // With a 1-element tile and 1-wide ports, the weight load dominates:
+  // t_wgt = 8*8*27/1 = 1728 > t_in = 8*3*3*3/1 = 216 > t_comp = 27.
+  EXPECT_GT(lat2.t_wgt, lat2.t_comp);
+  EXPECT_EQ(lat2.t_L3, lat2.t_wgt);
+}
+
+TEST(PerfModelTest, TileCountsUseCeiling) {
+  ConvLayerSpec l = SmallLayer();
+  l.M = 144;  // ceil(144/64) = 3 m-blocks
+  l.N = 64;
+  const Tiling t{64, 8, 4, 14, 14};
+  PerfModel pm(t, Ports{});
+  const LayerLatency lat = pm.LayerCycles(l);
+  // spatial tiles: 1 x 1 x 1; m blocks: 3; n blocks: 8.
+  EXPECT_EQ(lat.tile_iterations, 3);
+  EXPECT_EQ(lat.blocks_loaded, 24);
+}
+
+TEST(PerfModelTest, BlockEnableSkipsProportionally) {
+  ConvLayerSpec l = SmallLayer();
+  l.M = 64;
+  l.N = 64;
+  const Tiling t{64, 8, 4, 14, 14};
+  PerfModel pm(t, Ports{});
+  const LayerLatency dense = pm.LayerCycles(l);
+
+  BlockPartition part(Shape{l.M, l.N, l.Kd, l.Kr, l.Kc}, t.block());
+  BlockMask mask = part.FullMask();
+  // Disable 6 of 8 input blocks.
+  for (int64_t bn = 0; bn < 6; ++bn) mask.set(0, bn, false);
+  const LayerLatency pruned = pm.LayerCycles(l, &mask);
+
+  EXPECT_LT(pruned.cycles, dense.cycles);
+  EXPECT_EQ(pruned.blocks_skipped, 6);
+  EXPECT_EQ(pruned.blocks_loaded, 2);
+  // Compute-bound layer: cycle ratio ~ (2+1)/(8+1).
+  const double ratio =
+      static_cast<double>(pruned.cycles) / static_cast<double>(dense.cycles);
+  EXPECT_NEAR(ratio, 3.0 / 9.0, 0.05);
+}
+
+TEST(PerfModelTest, FullyPrunedRowCostsOnlyStore) {
+  ConvLayerSpec l = SmallLayer();
+  const Tiling t{8, 8, 4, 14, 14};
+  PerfModel pm(t, Ports{});
+  BlockPartition part(Shape{l.M, l.N, l.Kd, l.Kr, l.Kc}, t.block());
+  BlockMask mask = part.FullMask();
+  mask.set(0, 0, false);  // the only block
+  const LayerLatency lat = pm.LayerCycles(l, &mask);
+  // One row, zero enabled -> t_L2 = t_out; total = t_out + final t_out.
+  EXPECT_EQ(lat.cycles, 2 * lat.t_out);
+}
+
+TEST(PerfModelTest, MaskGridMismatchThrows) {
+  ConvLayerSpec l = SmallLayer();
+  const Tiling t{8, 8, 4, 14, 14};
+  PerfModel pm(t, Ports{});
+  BlockMask bad;
+  bad.blocks_m = 2;
+  bad.blocks_n = 2;
+  bad.enabled.assign(4, 1);
+  EXPECT_THROW(pm.LayerCycles(l, &bad), Error);
+}
+
+TEST(PerfModelTest, NetworkCyclesSumLayers) {
+  const models::NetworkSpec spec = models::MakeR2Plus1DSpec();
+  const Tiling t = fpga::PaperTilingTn8();
+  PerfModel pm(t, Ports{});
+  int64_t manual = 0;
+  for (const auto& l : spec.layers) manual += pm.LayerCycles(l).cycles;
+  EXPECT_EQ(pm.NetworkCycles(spec).cycles, manual);
+}
+
+TEST(PerfModelTest, Tn16FasterThanTn8OnR2Plus1D) {
+  const models::NetworkSpec spec = models::MakeR2Plus1DSpec();
+  PerfModel pm8(fpga::PaperTilingTn8(), Ports{});
+  PerfModel pm16(fpga::PaperTilingTn16(), Ports{});
+  // Doubling Tn roughly halves ceil(N/Tn); the paper sees 1044 -> 609 ms.
+  const double ratio =
+      static_cast<double>(pm8.NetworkCycles(spec).cycles) /
+      static_cast<double>(pm16.NetworkCycles(spec).cycles);
+  EXPECT_GT(ratio, 1.4);
+  EXPECT_LT(ratio, 2.1);
+}
+
+TEST(PerfModelTest, DoubleBufferingOverlapSavesCycles) {
+  // With realistic (narrow) ports the loads are substantial and the
+  // ping-pong overlap of Eq. 23 hides them.
+  ConvLayerSpec l = SmallLayer();
+  l.N = 64;
+  const Tiling t{8, 8, 4, 14, 14};
+  Ports overlapped;
+  overlapped.p_wgt = overlapped.p_in = overlapped.p_out = 1;
+  Ports serialized = overlapped;
+  serialized.double_buffered = false;
+  const int64_t with_db = PerfModel(t, overlapped).LayerCycles(l).cycles;
+  const int64_t without_db = PerfModel(t, serialized).LayerCycles(l).cycles;
+  EXPECT_LT(with_db, without_db);
+  // The overlap can at best hide the loads entirely.
+  EXPECT_LT(static_cast<double>(without_db) / with_db, 3.0);
+}
+
+TEST(PerfModelTest, PartialTilesCostProportionallyLess) {
+  // conv5_x-shaped layer: 2x7x7 outputs on 4x14x14 tiles must cost ~1/8
+  // of the full-tile charge, not the same.
+  ConvLayerSpec big = SmallLayer();  // 4x14x14 output
+  ConvLayerSpec small = big;
+  small.D = 2;
+  small.R = small.C = 7;
+  const Tiling t{8, 8, 4, 14, 14};
+  PerfModel pm(t, Ports{});
+  const double ratio =
+      static_cast<double>(pm.LayerCycles(big).cycles) /
+      static_cast<double>(pm.LayerCycles(small).cycles);
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 9.0);
+}
+
+TEST(PerfModelTest, MsConversion) {
+  LayerLatency lat;
+  lat.cycles = 150000;
+  EXPECT_NEAR(lat.MsAt(150.0), 1.0, 1e-9);  // 150k cycles at 150MHz = 1ms
+}
+
+// Property sweep: more pruning never increases modeled cycles.
+class PruneLevelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PruneLevelSweep, MonotoneInEnabledBlocks) {
+  const int disabled = GetParam();
+  ConvLayerSpec l = SmallLayer();
+  l.N = 64;
+  const Tiling t{8, 8, 4, 14, 14};
+  PerfModel pm(t, Ports{});
+  BlockPartition part(Shape{l.M, l.N, l.Kd, l.Kr, l.Kc}, t.block());
+  BlockMask mask = part.FullMask();
+  for (int bn = 0; bn < disabled; ++bn) mask.set(0, bn, false);
+  BlockMask mask_more = mask;
+  if (disabled < 8) mask_more.set(0, disabled, false);
+  EXPECT_LE(pm.LayerCycles(l, &mask_more).cycles,
+            pm.LayerCycles(l, &mask).cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, PruneLevelSweep,
+                         ::testing::Values(0, 1, 2, 4, 6, 7));
+
+}  // namespace
+}  // namespace hwp3d

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/projection.h"
+#include "tensor/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace hwp3d {
+namespace {
+
+using core::BlockPartition;
+using core::PlanBlockSparse;
+using core::ProjectionResult;
+using core::ProjectToBlockSparse;
+
+TEST(ProjectionTest, EtaZeroIsNoop) {
+  Rng rng(1);
+  TensorF w(Shape{8, 8, 1, 3, 3});
+  FillNormal(w, rng, 0.0f, 1.0f);
+  const TensorF before = w;
+  BlockPartition p(w.shape(), {4, 4});
+  const ProjectionResult r = ProjectToBlockSparse(w, p, 0.0);
+  EXPECT_TRUE(AllClose(w, before, 0.0f, 0.0f));
+  EXPECT_EQ(r.pruned_blocks, 0);
+  EXPECT_EQ(r.kept_blocks, 4);
+}
+
+TEST(ProjectionTest, KeepsFloorOneMinusEtaBBlocks) {
+  Rng rng(2);
+  TensorF w(Shape{16, 16, 1, 1, 1});
+  FillNormal(w, rng, 0.0f, 1.0f);
+  BlockPartition p(w.shape(), {4, 4});  // 16 blocks
+  const ProjectionResult r = ProjectToBlockSparse(w, p, 0.9);
+  // Eq. 1: E <= (1-0.9)*16 = 1.6, so exactly 1 block survives.
+  EXPECT_EQ(r.kept_blocks, 1);
+  EXPECT_EQ(r.pruned_blocks, 15);
+  EXPECT_EQ(r.mask.CountEnabled(), 1);
+}
+
+TEST(ProjectionTest, NeverPrunesEveryBlock) {
+  Rng rng(2);
+  TensorF w(Shape{4, 4, 1, 1, 1});
+  FillNormal(w, rng, 0.0f, 1.0f);
+  BlockPartition p(w.shape(), {4, 4});  // a single block
+  const ProjectionResult r = ProjectToBlockSparse(w, p, 0.99);
+  EXPECT_EQ(r.kept_blocks, 1);
+}
+
+TEST(ProjectionTest, SatisfiesSparsityConstraintEq1) {
+  // Eq. 1: surviving blocks <= (1 - eta) * B.
+  Rng rng(3);
+  for (double eta : {0.5, 0.8, 0.9, 0.95}) {
+    TensorF w(Shape{30, 20, 2, 3, 3});
+    FillNormal(w, rng, 0.0f, 1.0f);
+    BlockPartition p(w.shape(), {8, 4});
+    const ProjectionResult r = ProjectToBlockSparse(w, p, eta);
+    // Exact Eq. 1 membership (the >= 1 clamp never binds here).
+    EXPECT_LE(static_cast<double>(r.kept_blocks),
+              (1.0 - eta) * static_cast<double>(p.num_blocks()) + 1e-9);
+    EXPECT_GE(r.kept_blocks, 1);
+  }
+}
+
+TEST(ProjectionTest, KeepsLargestNormBlocks) {
+  // Construct a tensor where block magnitudes are strictly ordered, then
+  // verify exactly the top blocks survive.
+  TensorF w(Shape{4, 4, 1, 1, 1});
+  BlockPartition p(w.shape(), {2, 2});  // 4 blocks of 4 elements
+  // Block (bm, bn) filled with value bm*2 + bn + 1.
+  for (int64_t m = 0; m < 4; ++m)
+    for (int64_t n = 0; n < 4; ++n)
+      w(m, n, 0, 0, 0) = static_cast<float>((m / 2) * 2 + (n / 2) + 1);
+  const ProjectionResult r = ProjectToBlockSparse(w, p, 0.5);
+  // Blocks with fill 1 and 2 pruned; fills 3 and 4 survive.
+  EXPECT_FALSE(r.mask.at(0, 0));
+  EXPECT_FALSE(r.mask.at(0, 1));
+  EXPECT_TRUE(r.mask.at(1, 0));
+  EXPECT_TRUE(r.mask.at(1, 1));
+  EXPECT_FLOAT_EQ(w(0, 0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(w(3, 3, 0, 0, 0), 4.0f);
+}
+
+TEST(ProjectionTest, ThresholdSeparatesKeptFromPruned) {
+  Rng rng(4);
+  TensorF w(Shape{12, 12, 1, 1, 1});
+  FillNormal(w, rng, 0.0f, 1.0f);
+  BlockPartition p(w.shape(), {4, 4});
+  const ProjectionResult r = PlanBlockSparse(w, p, 0.5);
+  const auto norms = p.BlockSqNorms(w);
+  for (int64_t bm = 0; bm < p.blocks_m(); ++bm)
+    for (int64_t bn = 0; bn < p.blocks_n(); ++bn) {
+      const double norm =
+          std::sqrt(norms[static_cast<size_t>(bm * p.blocks_n() + bn)]);
+      if (r.mask.at(bm, bn)) {
+        EXPECT_GE(norm, r.threshold - 1e-9);
+      } else {
+        EXPECT_LE(norm, r.threshold + 1e-9);
+      }
+    }
+}
+
+TEST(ProjectionTest, IdempotentOnProjectedTensor) {
+  Rng rng(5);
+  TensorF w(Shape{16, 8, 1, 3, 3});
+  FillNormal(w, rng, 0.0f, 1.0f);
+  BlockPartition p(w.shape(), {4, 4});
+  ProjectToBlockSparse(w, p, 0.75);
+  const TensorF once = w;
+  // Projecting again with the same eta must keep the same blocks (zero
+  // blocks have the smallest norms).
+  ProjectToBlockSparse(w, p, 0.75);
+  EXPECT_TRUE(AllClose(w, once, 0.0f, 0.0f));
+}
+
+TEST(ProjectionTest, PlanDoesNotMutate) {
+  Rng rng(6);
+  TensorF w(Shape{8, 8, 1, 1, 1});
+  FillNormal(w, rng, 0.0f, 1.0f);
+  const TensorF before = w;
+  BlockPartition p(w.shape(), {4, 4});
+  PlanBlockSparse(w, p, 0.5);
+  EXPECT_TRUE(AllClose(w, before, 0.0f, 0.0f));
+}
+
+TEST(ProjectionTest, ElementSparsityMatchesBlockSparsity) {
+  // With uniform block sizes, element sparsity equals block sparsity.
+  Rng rng(7);
+  TensorF w(Shape{16, 16, 1, 3, 3});
+  FillNormal(w, rng, 0.0f, 1.0f);
+  BlockPartition p(w.shape(), {4, 4});  // 16 uniform blocks
+  ProjectToBlockSparse(w, p, 0.75);     // prune 12 of 16
+  EXPECT_NEAR(Sparsity(w), 12.0 / 16.0, 1e-9);
+}
+
+TEST(ProjectionTest, RejectsBadEta) {
+  TensorF w(Shape{4, 4, 1, 1, 1});
+  BlockPartition p(w.shape(), {2, 2});
+  EXPECT_THROW(ProjectToBlockSparse(w, p, 1.0), Error);
+  EXPECT_THROW(ProjectToBlockSparse(w, p, -0.1), Error);
+}
+
+// Property sweep over eta: kept fraction is always ceil-consistent and
+// the projection distance is minimal (no kept block has smaller norm
+// than any pruned block).
+class EtaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EtaSweep, EuclideanOptimality) {
+  const double eta = GetParam();
+  Rng rng(static_cast<uint64_t>(eta * 1000));
+  TensorF w(Shape{24, 12, 1, 3, 3});
+  FillNormal(w, rng, 0.0f, 1.0f);
+  BlockPartition p(w.shape(), {8, 4});
+  const auto norms = p.BlockSqNorms(w);
+  const ProjectionResult r = PlanBlockSparse(w, p, eta);
+  const int64_t expected_kept = std::max<int64_t>(
+      1, static_cast<int64_t>(std::floor((1.0 - eta) * p.num_blocks())));
+  EXPECT_EQ(r.kept_blocks, expected_kept);
+  double min_kept = 1e30, max_pruned = -1.0;
+  for (int64_t i = 0; i < p.num_blocks(); ++i) {
+    if (r.mask.enabled[static_cast<size_t>(i)]) {
+      min_kept = std::min(min_kept, norms[static_cast<size_t>(i)]);
+    } else {
+      max_pruned = std::max(max_pruned, norms[static_cast<size_t>(i)]);
+    }
+  }
+  if (r.pruned_blocks > 0 && r.kept_blocks > 0) {
+    EXPECT_GE(min_kept, max_pruned - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Etas, EtaSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.8, 0.9, 0.99));
+
+}  // namespace
+}  // namespace hwp3d

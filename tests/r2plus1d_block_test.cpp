@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/r2plus1d_block.h"
+#include "tensor/init.h"
+#include "testing/gradcheck.h"
+
+namespace hwp3d {
+namespace {
+
+// The parameter-matching mid-channel formula must reproduce every value
+// printed in Table I of the paper.
+TEST(MidChannelsTest, MatchesTableI) {
+  // conv2_x: 64 -> 64 gives 144.
+  EXPECT_EQ(nn::R2Plus1dMidChannels(64, 64, 3, 3), 144);
+  // conv3_x: 64 -> 128 gives 230; 128 -> 128 gives 288.
+  EXPECT_EQ(nn::R2Plus1dMidChannels(64, 128, 3, 3), 230);
+  EXPECT_EQ(nn::R2Plus1dMidChannels(128, 128, 3, 3), 288);
+  // conv4_x: 128 -> 256 gives 460; 256 -> 256 gives 576.
+  EXPECT_EQ(nn::R2Plus1dMidChannels(128, 256, 3, 3), 460);
+  EXPECT_EQ(nn::R2Plus1dMidChannels(256, 256, 3, 3), 576);
+  // conv5_x: 256 -> 512 gives 921; 512 -> 512 gives 1152.
+  EXPECT_EQ(nn::R2Plus1dMidChannels(256, 512, 3, 3), 921);
+  EXPECT_EQ(nn::R2Plus1dMidChannels(512, 512, 3, 3), 1152);
+}
+
+TEST(MidChannelsTest, NeverZero) {
+  EXPECT_GE(nn::R2Plus1dMidChannels(1, 1, 3, 3), 1);
+}
+
+TEST(Conv2Plus1dTest, OutputShapePreservesDims) {
+  Rng rng(1);
+  nn::Conv2Plus1dConfig cfg;
+  cfg.in_channels = 4;
+  cfg.out_channels = 6;
+  nn::Conv2Plus1d conv(cfg, rng);
+  TensorF x(Shape{2, 4, 4, 8, 8});
+  const TensorF y = conv.Forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 6, 4, 8, 8}));
+}
+
+TEST(Conv2Plus1dTest, StridesDecimate) {
+  Rng rng(1);
+  nn::Conv2Plus1dConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 4;
+  cfg.spatial_stride = 2;
+  cfg.temporal_stride = 2;
+  nn::Conv2Plus1d conv(cfg, rng);
+  TensorF x(Shape{1, 2, 4, 8, 8});
+  const TensorF y = conv.Forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 4, 2, 4, 4}));
+}
+
+TEST(Conv2Plus1dTest, ExplicitMidChannels) {
+  Rng rng(1);
+  nn::Conv2Plus1dConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 2;
+  cfg.mid_channels = 7;
+  nn::Conv2Plus1d conv(cfg, rng);
+  EXPECT_EQ(conv.mid_channels(), 7);
+  EXPECT_EQ(conv.spatial().config().out_channels, 7);
+  EXPECT_EQ(conv.temporal().config().in_channels, 7);
+}
+
+TEST(Conv2Plus1dTest, FactorizedKernelShapes) {
+  Rng rng(1);
+  nn::Conv2Plus1dConfig cfg;
+  cfg.in_channels = 3;
+  cfg.out_channels = 5;
+  nn::Conv2Plus1d conv(cfg, rng);
+  // Spatial conv: 1 x d x d; temporal conv: t x 1 x 1.
+  EXPECT_EQ(conv.spatial().weight().value.dim(2), 1);
+  EXPECT_EQ(conv.spatial().weight().value.dim(3), 3);
+  EXPECT_EQ(conv.temporal().weight().value.dim(2), 3);
+  EXPECT_EQ(conv.temporal().weight().value.dim(3), 1);
+}
+
+TEST(Conv2Plus1dTest, GradCheck) {
+  Rng rng(2);
+  nn::Conv2Plus1dConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 2;
+  cfg.mid_channels = 3;
+  nn::Conv2Plus1d conv(cfg, rng);
+  TensorF x(Shape{2, 2, 3, 4, 4});
+  FillUniform(x, rng, -1.0f, 1.0f);
+  testing::CheckInputGradient(conv, x);
+}
+
+TEST(ResidualBlockTest, IdentityShortcutWhenShapesMatch) {
+  Rng rng(3);
+  nn::ResidualBlockConfig cfg;
+  cfg.in_channels = 4;
+  cfg.out_channels = 4;
+  nn::ResidualBlock block(cfg, rng);
+  EXPECT_FALSE(block.has_projection());
+  TensorF x(Shape{1, 4, 4, 6, 6});
+  const TensorF y = block.Forward(x, false);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(ResidualBlockTest, ProjectionOnChannelChange) {
+  Rng rng(3);
+  nn::ResidualBlockConfig cfg;
+  cfg.in_channels = 4;
+  cfg.out_channels = 8;
+  nn::ResidualBlock block(cfg, rng);
+  EXPECT_TRUE(block.has_projection());
+  TensorF x(Shape{1, 4, 4, 6, 6});
+  const TensorF y = block.Forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 8, 4, 6, 6}));
+}
+
+TEST(ResidualBlockTest, ProjectionOnStride) {
+  Rng rng(3);
+  nn::ResidualBlockConfig cfg;
+  cfg.in_channels = 4;
+  cfg.out_channels = 4;
+  cfg.spatial_stride = 2;
+  cfg.temporal_stride = 2;
+  nn::ResidualBlock block(cfg, rng);
+  EXPECT_TRUE(block.has_projection());
+  TensorF x(Shape{1, 4, 4, 8, 8});
+  const TensorF y = block.Forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 4, 2, 4, 4}));
+}
+
+TEST(ResidualBlockTest, OutputNonNegativeAfterFinalReLU) {
+  Rng rng(4);
+  nn::ResidualBlockConfig cfg;
+  cfg.in_channels = 3;
+  cfg.out_channels = 3;
+  nn::ResidualBlock block(cfg, rng);
+  TensorF x(Shape{2, 3, 3, 5, 5});
+  FillUniform(x, rng, -2.0f, 2.0f);
+  const TensorF y = block.Forward(x, false);
+  for (int64_t i = 0; i < y.numel(); ++i) EXPECT_GE(y[i], 0.0f);
+}
+
+TEST(ResidualBlockTest, ResidualActuallyAdds) {
+  // Zero the main path's last BN gamma => output = ReLU(shortcut). With
+  // identity shortcut the block must then reproduce ReLU(x).
+  Rng rng(5);
+  nn::ResidualBlockConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 2;
+  nn::ResidualBlock block(cfg, rng);
+  // Find bn2's gamma via Params (named ".bn2.gamma").
+  for (nn::Param* p : block.Params()) {
+    if (p->name.find("bn2.gamma") != std::string::npos) p->value.Fill(0.0f);
+  }
+  TensorF x(Shape{1, 2, 3, 4, 4});
+  FillUniform(x, rng, -1.0f, 1.0f);
+  const TensorF y = block.Forward(x, false);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(y[i], std::max(0.0f, x[i]), 1e-5f);
+  }
+}
+
+TEST(ResidualBlockTest, GradCheckIdentity) {
+  Rng rng(6);
+  nn::ResidualBlockConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 2;
+  nn::ResidualBlock block(cfg, rng);
+  TensorF x(Shape{2, 2, 3, 4, 4});
+  FillUniform(x, rng, -1.0f, 1.0f);
+  testing::GradCheckOptions opt;
+  opt.rtol = 8e-2f;
+  opt.atol = 8e-3f;
+  testing::CheckInputGradient(block, x, 7, opt);
+}
+
+TEST(ResidualBlockTest, GradCheckProjection) {
+  Rng rng(7);
+  nn::ResidualBlockConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 4;
+  cfg.spatial_stride = 2;
+  cfg.temporal_stride = 1;
+  nn::ResidualBlock block(cfg, rng);
+  TensorF x(Shape{2, 2, 3, 6, 6});
+  FillUniform(x, rng, -1.0f, 1.0f);
+  testing::GradCheckOptions opt;
+  opt.rtol = 8e-2f;
+  opt.atol = 8e-3f;
+  testing::CheckInputGradient(block, x, 7, opt);
+}
+
+}  // namespace
+}  // namespace hwp3d

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "report/table.h"
+
+namespace hwp3d {
+namespace {
+
+using report::Table;
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t("Demo");
+  t.Header({"a", "bb"}).Row({"1", "2"}).Row({"333", "4"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("| 333 "), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAlignToWidestCell) {
+  Table t("W");
+  t.Header({"x"}).Row({"wide-cell"});
+  const std::string out = t.Render();
+  // Header cell padded to the widest cell's width.
+  EXPECT_NE(out.find("| x         |"), std::string::npos);
+}
+
+TEST(TableTest, RuleInsertsSeparator) {
+  Table t("R");
+  t.Header({"c"}).Row({"1"}).Rule().Row({"2"});
+  const std::string out = t.Render();
+  // 4 rules: top, under header, explicit, bottom.
+  size_t count = 0;
+  for (size_t pos = 0; (pos = out.find("+---", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table t("P");
+  t.Header({"a", "b", "c"}).Row({"1"});
+  EXPECT_NO_THROW(t.Render());
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t("C");
+  t.Header({"x", "y"}).Row({"1", "2"}).Rule().Row({"3", "4,5"});
+  const std::string csv = t.RenderCsv();
+  EXPECT_EQ(csv, "x,y\n1,2\n3,\"4,5\"\n");  // rule omitted, comma quoted
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(3.0, 0), "3");
+  EXPECT_EQ(Table::Int(1234), "1234");
+  EXPECT_EQ(Table::Pct(0.2785, 0), "28%");
+  EXPECT_EQ(Table::Pct(0.5, 1), "50.0%");
+  EXPECT_EQ(Table::Ratio(3.177, 2), "3.18x");
+}
+
+}  // namespace
+}  // namespace hwp3d

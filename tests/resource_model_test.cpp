@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "fpga/power_model.h"
+#include "fpga/resource_model.h"
+#include "models/network_spec.h"
+
+namespace hwp3d {
+namespace {
+
+using fpga::BufferSizes;
+using fpga::ResourceModel;
+using fpga::ResourceUsage;
+using fpga::Tiling;
+
+TEST(ResourceModelTest, BufferMaximaAcrossR2Plus1D) {
+  const models::NetworkSpec spec = models::MakeR2Plus1DSpec();
+  ResourceModel model;
+  const BufferSizes b =
+      model.ComputeBuffers(fpga::PaperTilingTn8(), {&spec});
+  // K_size: conv1's 1x7x7 = 49 is the largest kernel volume (Eq. 17).
+  EXPECT_EQ(b.K_size, 49);
+  // I_size: the stride-2 1x1x1 shortcut convs have the widest input
+  // tile, 7 * 27 * 27 = 5103 (conv1 spatial is 4 * 33 * 33 = 4356).
+  EXPECT_EQ(b.I_size, 5103);
+  // Eqs. 14-16 with double buffering.
+  EXPECT_EQ(b.B_out, 2 * 64 * 4 * 14 * 14);
+  EXPECT_EQ(b.B_in, 2 * 8 * 5103);
+  EXPECT_EQ(b.B_wgt, 2 * 64 * 8 * 49);
+}
+
+TEST(ResourceModelTest, C3DChangesInputMaxOnly) {
+  const models::NetworkSpec c3d = models::MakeC3DSpec();
+  ResourceModel model;
+  const BufferSizes b = model.ComputeBuffers(fpga::PaperTilingTn8(), {&c3d});
+  EXPECT_EQ(b.K_size, 27);          // 3x3x3
+  EXPECT_EQ(b.I_size, 6 * 16 * 16); // stride-1 3x3x3 windows
+}
+
+TEST(ResourceModelTest, MultiNetworkTakesMaxima) {
+  const models::NetworkSpec r2p1d = models::MakeR2Plus1DSpec();
+  const models::NetworkSpec c3d = models::MakeC3DSpec();
+  ResourceModel model;
+  const BufferSizes both =
+      model.ComputeBuffers(fpga::PaperTilingTn8(), {&r2p1d, &c3d});
+  EXPECT_EQ(both.K_size, 49);   // R(2+1)D's 7x7 dominates
+  EXPECT_EQ(both.I_size, 5103); // R(2+1)D's strided shortcut dominates
+}
+
+TEST(ResourceModelTest, DspMatchesTableIII) {
+  const models::NetworkSpec spec = models::MakeR2Plus1DSpec();
+  ResourceModel model;
+  const ResourceUsage u8 = model.Estimate(fpga::PaperTilingTn8(), {&spec});
+  const ResourceUsage u16 = model.Estimate(fpga::PaperTilingTn16(), {&spec});
+  // Table III: 695 DSPs for (64,8), 1215 for (64,16).
+  EXPECT_EQ(u8.dsp, 695);
+  EXPECT_EQ(u16.dsp, 1215);
+}
+
+TEST(ResourceModelTest, LutFfNearTableIII) {
+  const models::NetworkSpec spec = models::MakeR2Plus1DSpec();
+  ResourceModel model;
+  const ResourceUsage u8 = model.Estimate(fpga::PaperTilingTn8(), {&spec});
+  const ResourceUsage u16 = model.Estimate(fpga::PaperTilingTn16(), {&spec});
+  // Table III: 74K/148K LUT and 51K/76K FF.
+  EXPECT_NEAR(static_cast<double>(u8.lut), 74000.0, 1500.0);
+  EXPECT_NEAR(static_cast<double>(u16.lut), 148000.0, 1500.0);
+  EXPECT_NEAR(static_cast<double>(u8.ff), 51000.0, 1500.0);
+  EXPECT_NEAR(static_cast<double>(u16.ff), 76000.0, 1500.0);
+}
+
+TEST(ResourceModelTest, PartitionedBramNearTableIII) {
+  const models::NetworkSpec spec = models::MakeR2Plus1DSpec();
+  ResourceModel model;
+  const ResourceUsage u8 = model.Estimate(fpga::PaperTilingTn8(), {&spec});
+  // Table III reports 710.5 BRAM36 for (64,8); our partitioned estimate
+  // must land in the same regime (Vivado-level accuracy not expected).
+  EXPECT_NEAR(u8.bram36_partitioned, 710.5, 75.0);
+  // Eq. 18 aggregate bound is far smaller — the partitioning overhead is
+  // the dominant effect the paper's Table III shows.
+  EXPECT_LT(u8.bram36_eq18, 150);
+  EXPECT_GT(u8.bram36_partitioned, u8.bram36_eq18);
+}
+
+TEST(ResourceModelTest, BiggerTilesUseMoreResources) {
+  const models::NetworkSpec spec = models::MakeR2Plus1DSpec();
+  ResourceModel model;
+  const ResourceUsage u8 = model.Estimate(fpga::PaperTilingTn8(), {&spec});
+  const ResourceUsage u16 = model.Estimate(fpga::PaperTilingTn16(), {&spec});
+  EXPECT_GT(u16.dsp, u8.dsp);
+  EXPECT_GT(u16.bram36_partitioned, u8.bram36_partitioned);
+  EXPECT_GT(u16.lut, u8.lut);
+  EXPECT_GT(u16.bram36_eq18, u8.bram36_eq18);
+}
+
+TEST(ResourceModelTest, FeasibilityAgainstZcu102) {
+  const models::NetworkSpec spec = models::MakeR2Plus1DSpec();
+  ResourceModel model;
+  const fpga::FpgaDevice dev = fpga::Zcu102();
+  EXPECT_TRUE(model.Feasible(
+      model.Estimate(fpga::PaperTilingTn8(), {&spec}), dev));
+  // A hugely oversized tile must violate the DSP bound.
+  const Tiling huge{512, 32, 8, 28, 28};
+  EXPECT_FALSE(model.Feasible(model.Estimate(huge, {&spec}), dev));
+}
+
+TEST(ResourceModelTest, RejectsEmptyNetworkList) {
+  ResourceModel model;
+  EXPECT_THROW(model.ComputeBuffers(fpga::PaperTilingTn8(), {}), Error);
+}
+
+TEST(PowerModelTest, ReproducesPaperDesignPoints) {
+  const models::NetworkSpec spec = models::MakeR2Plus1DSpec();
+  ResourceModel model;
+  fpga::PowerModel power;
+  // Calibration targets: 5.4 W at (64,8), 6.7 W at (64,16). The (64,16)
+  // point needs the physical-BRAM cap (Vivado reports 100% = 912).
+  const fpga::FpgaDevice dev = fpga::Zcu102();
+  const double p8 =
+      power.Estimate(model.Estimate(fpga::PaperTilingTn8(), {&spec}, &dev));
+  const double p16 =
+      power.Estimate(model.Estimate(fpga::PaperTilingTn16(), {&spec}, &dev));
+  EXPECT_NEAR(p8, 5.4, 0.25);
+  EXPECT_NEAR(p16, 6.7, 0.25);
+  EXPECT_GT(p16, p8);
+}
+
+TEST(DeviceCatalogTest, Zcu102Limits) {
+  const fpga::FpgaDevice dev = fpga::Zcu102();
+  EXPECT_EQ(dev.dsp, 2520);
+  EXPECT_EQ(dev.bram36, 912);
+  EXPECT_EQ(dev.technology_nm, 16);
+}
+
+TEST(DeviceCatalogTest, PublishedComparatorsComplete) {
+  const auto rows = fpga::PublishedComparators();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].label, "F-C3D [13]");
+  EXPECT_NEAR(rows[0].latency_ms, 542.5, 1e-9);
+  EXPECT_NEAR(rows[3].throughput_gops, 3256.9, 1e-9);
+}
+
+}  // namespace
+}  // namespace hwp3d

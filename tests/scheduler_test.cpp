@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "fpga/scheduler.h"
+
+namespace hwp3d {
+namespace {
+
+using fpga::GenerateSpecMasks;
+using fpga::NetworkPerfReport;
+using fpga::NetworkScheduler;
+using fpga::SpecMasks;
+using models::MakeC3DSpec;
+using models::MakeR2Plus1DSpec;
+
+NetworkScheduler PaperScheduler8() {
+  return NetworkScheduler(fpga::PaperTilingTn8(), fpga::Ports{},
+                          fpga::Zcu102(), 150.0);
+}
+
+TEST(SchedulerTest, ReportInternalConsistency) {
+  const auto spec = MakeR2Plus1DSpec();
+  const NetworkPerfReport r = PaperScheduler8().Evaluate(spec);
+  // latency = cycles / freq.
+  EXPECT_NEAR(r.latency_ms, r.total_cycles / (150.0 * 1e3), 1e-6);
+  // throughput = ops / time.
+  EXPECT_NEAR(r.throughput_gops,
+              r.ops_counted / 1e9 / (r.latency_ms / 1e3), 1e-6);
+  EXPECT_NEAR(r.power_eff_gops_w, r.throughput_gops / r.power_w, 1e-9);
+  // Per-layer cycles sum to the total.
+  int64_t sum = 0;
+  for (const auto& l : r.layers) sum += l.cycles;
+  EXPECT_EQ(sum, r.total_cycles);
+  EXPECT_EQ(r.layers.size(), spec.layers.size());
+}
+
+TEST(SchedulerTest, UnprunedCountsFullOps) {
+  const auto spec = MakeR2Plus1DSpec();
+  const NetworkPerfReport r = PaperScheduler8().Evaluate(spec);
+  EXPECT_NEAR(r.ops_counted, spec.TotalOps(), 1.0);
+}
+
+TEST(SchedulerTest, PrunedCountsSurvivingOps) {
+  auto spec = MakeR2Plus1DSpec();
+  models::ApplyPaperPruningTargets(spec);
+  const SpecMasks masks = GenerateSpecMasks(spec, {64, 8});
+  const NetworkPerfReport r = PaperScheduler8().Evaluate(spec, &masks);
+  EXPECT_NEAR(r.ops_counted, 2.0 * masks.kept_macs, 1.0);
+  EXPECT_LT(r.ops_counted, spec.TotalOps());
+}
+
+TEST(SchedulerTest, PruningGivesPaperScaleSpeedup) {
+  // The paper: unpruned 1044 ms -> pruned 386 ms at Tn=8, i.e. ~2.7x.
+  // Our cycle model must land in the same regime (2x-4x).
+  auto spec = MakeR2Plus1DSpec();
+  models::ApplyPaperPruningTargets(spec);
+  NetworkScheduler sched = PaperScheduler8();
+  const NetworkPerfReport unpruned = sched.Evaluate(spec);
+  const SpecMasks masks = GenerateSpecMasks(spec, {64, 8});
+  const NetworkPerfReport pruned = sched.Evaluate(spec, &masks);
+  const double speedup = unpruned.latency_ms / pruned.latency_ms;
+  EXPECT_GT(speedup, 2.0);
+  EXPECT_LT(speedup, 4.0);
+}
+
+TEST(SchedulerTest, Tn16FasterButMorePower) {
+  const auto spec = MakeR2Plus1DSpec();
+  NetworkScheduler s8 = PaperScheduler8();
+  NetworkScheduler s16(fpga::PaperTilingTn16(), fpga::Ports{},
+                       fpga::Zcu102(), 150.0);
+  const NetworkPerfReport r8 = s8.Evaluate(spec);
+  const NetworkPerfReport r16 = s16.Evaluate(spec);
+  EXPECT_LT(r16.latency_ms, r8.latency_ms);
+  EXPECT_GT(r16.power_w, r8.power_w);
+  EXPECT_EQ(r8.dsp_used, 695);
+  EXPECT_EQ(r16.dsp_used, 1215);
+}
+
+TEST(SchedulerTest, UnprunedLatencyInPaperRegime) {
+  // Paper Table IV: unpruned R(2+1)D at Tn=8 runs in 1044 ms. The cycle
+  // model should land within ~35% without any latency calibration.
+  const auto spec = MakeR2Plus1DSpec();
+  const NetworkPerfReport r = PaperScheduler8().Evaluate(spec);
+  EXPECT_GT(r.latency_ms, 1044.0 * 0.65);
+  EXPECT_LT(r.latency_ms, 1044.0 * 1.35);
+}
+
+TEST(SchedulerTest, C3dLatencyInPaperRegime) {
+  // Paper: our-design C3D at Tn=8 runs in 826 ms.
+  const auto spec = MakeC3DSpec();
+  const NetworkPerfReport r = PaperScheduler8().Evaluate(spec);
+  EXPECT_GT(r.latency_ms, 826.0 * 0.6);
+  EXPECT_LT(r.latency_ms, 826.0 * 1.4);
+}
+
+TEST(SchedulerTest, UtilizationFractions) {
+  const auto spec = MakeR2Plus1DSpec();
+  const NetworkPerfReport r = PaperScheduler8().Evaluate(spec);
+  EXPECT_NEAR(r.dsp_utilization, 695.0 / 2520.0, 1e-9);
+  EXPECT_GT(r.bram_utilization, 0.5);
+  EXPECT_LE(r.bram_utilization, 1.0);  // capped at device capacity
+}
+
+TEST(SchedulerTest, DefaultFrequencyFromDevice) {
+  NetworkScheduler sched(fpga::PaperTilingTn8(), fpga::Ports{},
+                         fpga::Zc706());  // 176 MHz default
+  const NetworkPerfReport r = sched.Evaluate(MakeC3DSpec());
+  EXPECT_NEAR(r.freq_mhz, 176.0, 1e-9);
+}
+
+TEST(SpecMasksTest, KeptFractionTracksEta) {
+  auto spec = MakeR2Plus1DSpec();
+  models::ApplyPaperPruningTargets(spec);
+  const SpecMasks masks = GenerateSpecMasks(spec, {64, 8});
+  ASSERT_EQ(masks.storage.size(), spec.layers.size());
+  // conv2_x (eta 0.9): roughly 10% of params survive; edge blocks skew
+  // this a little, exactly as the paper's Table II shows (9.85x not 10x).
+  double conv2_total = 0.0, conv2_kept = 0.0;
+  for (size_t i = 0; i < spec.layers.size(); ++i) {
+    const auto& l = spec.layers[i];
+    if (l.group != "conv2_x") continue;
+    core::BlockPartition part(Shape{l.M, l.N, l.Kd, l.Kr, l.Kc}, {64, 8});
+    conv2_total += static_cast<double>(l.params());
+    conv2_kept += static_cast<double>(part.EnabledParams(masks.storage[i]));
+  }
+  const double rate = conv2_total / conv2_kept;
+  EXPECT_GT(rate, 6.0);
+  EXPECT_LT(rate, 14.0);
+}
+
+TEST(SpecMasksTest, UnprunedLayersGetFullMasks) {
+  auto spec = MakeR2Plus1DSpec();
+  models::ApplyPaperPruningTargets(spec);
+  const SpecMasks masks = GenerateSpecMasks(spec, {64, 8});
+  for (size_t i = 0; i < spec.layers.size(); ++i) {
+    if (spec.layers[i].eta == 0.0) {
+      EXPECT_EQ(masks.ptrs[i], nullptr);
+      EXPECT_EQ(masks.storage[i].CountEnabled(),
+                masks.storage[i].num_blocks());
+    } else {
+      EXPECT_EQ(masks.ptrs[i], &masks.storage[i]);
+    }
+  }
+}
+
+TEST(SpecMasksTest, DeterministicForSeed) {
+  auto spec = MakeR2Plus1DSpec();
+  models::ApplyPaperPruningTargets(spec);
+  const SpecMasks a = GenerateSpecMasks(spec, {64, 8}, 7);
+  const SpecMasks b = GenerateSpecMasks(spec, {64, 8}, 7);
+  for (size_t i = 0; i < a.storage.size(); ++i) {
+    EXPECT_EQ(a.storage[i].enabled, b.storage[i].enabled);
+  }
+}
+
+}  // namespace
+}  // namespace hwp3d

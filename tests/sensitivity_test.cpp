@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/sensitivity.h"
+#include "data/synthetic_video.h"
+#include "models/tiny_r2plus1d.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace hwp3d {
+namespace {
+
+class SensitivityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogLevel(LogLevel::Warning);
+    models::TinyR2Plus1dConfig mcfg;
+    mcfg.num_classes = 4;
+    mcfg.stem_channels = 4;
+    mcfg.stage1_channels = 8;
+    mcfg.stage2_channels = 8;
+    model_ = std::make_unique<models::TinyR2Plus1d>(mcfg, rng_);
+
+    data::SyntheticVideoConfig dcfg;
+    dcfg.num_classes = 4;
+    dcfg.frames = 6;
+    dcfg.height = 10;
+    dcfg.width = 10;
+    data::SyntheticVideoDataset dataset(dcfg);
+    auto train = dataset.MakeBatches(40, 8, rng_);
+    probe_ = dataset.MakeBatches(24, 8, rng_);
+    nn::Sgd opt(model_->Params(),
+                {.lr = 0.05f, .momentum = 0.9f, .weight_decay = 0.0f});
+    for (int e = 0; e < 5; ++e) nn::TrainEpoch(*model_, opt, train, {});
+  }
+  void TearDown() override { SetLogLevel(LogLevel::Info); }
+
+  std::vector<core::PruneLayerSpec> Specs() {
+    std::vector<core::PruneLayerSpec> specs;
+    for (nn::Conv3d* c : model_->PrunableConvs()) {
+      specs.push_back({&c->weight(), {4, 4}, 0.0, c->name()});
+    }
+    return specs;
+  }
+
+  Rng rng_{31};
+  std::unique_ptr<models::TinyR2Plus1d> model_;
+  std::vector<nn::Batch> probe_;
+};
+
+TEST_F(SensitivityTest, ScanRestoresWeights) {
+  const auto specs = Specs();
+  std::vector<TensorF> before;
+  for (const auto& s : specs) before.push_back(s.weight->value);
+
+  core::SensitivityOptions opt;
+  opt.etas = {0.5, 0.9};
+  const auto result =
+      core::ScanPruningSensitivity(*model_, specs, probe_, opt);
+  ASSERT_EQ(result.size(), specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_TRUE(AllClose(specs[i].weight->value, before[i], 0.0f, 0.0f))
+        << specs[i].name;
+  }
+}
+
+TEST_F(SensitivityTest, CurvesHaveRequestedEtas) {
+  core::SensitivityOptions opt;
+  opt.etas = {0.25, 0.5, 0.75};
+  const auto result =
+      core::ScanPruningSensitivity(*model_, Specs(), probe_, opt);
+  for (const auto& layer : result) {
+    ASSERT_EQ(layer.curve.size(), 3u) << layer.name;
+    EXPECT_DOUBLE_EQ(layer.curve[0].eta, 0.25);
+    EXPECT_DOUBLE_EQ(layer.curve[2].eta, 0.75);
+    for (const auto& p : layer.curve) {
+      EXPECT_GE(p.accuracy, 0.0);
+      EXPECT_LE(p.accuracy, 1.0);
+    }
+  }
+}
+
+TEST_F(SensitivityTest, MaxEtaWithinSelectsTolerantPoint) {
+  core::LayerSensitivity sens;
+  sens.curve = {{0.25, 0.80}, {0.5, 0.75}, {0.75, 0.50}, {0.9, 0.20}};
+  // Dense accuracy 0.82, tolerance 0.10 -> 0.5 is the last within.
+  EXPECT_DOUBLE_EQ(sens.MaxEtaWithin(0.82, 0.10), 0.5);
+  // Tight tolerance: only 0.25 qualifies.
+  EXPECT_DOUBLE_EQ(sens.MaxEtaWithin(0.82, 0.03), 0.25);
+  // Nothing qualifies.
+  EXPECT_DOUBLE_EQ(sens.MaxEtaWithin(0.99, 0.01), 0.0);
+}
+
+TEST_F(SensitivityTest, RejectsEmptyInputs) {
+  EXPECT_THROW(core::ScanPruningSensitivity(*model_, {}, probe_, {}), Error);
+  EXPECT_THROW(core::ScanPruningSensitivity(*model_, Specs(), {}, {}),
+               Error);
+}
+
+}  // namespace
+}  // namespace hwp3d

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "tensor/shape.h"
+
+namespace hwp3d {
+namespace {
+
+TEST(ShapeTest, RankAndDims) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(1), 3);
+  EXPECT_EQ(s.dim(2), 4);
+  EXPECT_EQ(s[2], 4);
+}
+
+TEST(ShapeTest, Numel) {
+  EXPECT_EQ((Shape{2, 3, 4}).numel(), 24);
+  EXPECT_EQ((Shape{5}).numel(), 5);
+  EXPECT_EQ(Shape{}.numel(), 1);  // rank-0 scalar
+  EXPECT_EQ((Shape{3, 0, 4}).numel(), 0);
+}
+
+TEST(ShapeTest, RowMajorStrides) {
+  Shape s{2, 3, 4};
+  const auto strides = s.strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(ShapeTest, LinearIndex) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.LinearIndex({0, 0, 0}), 0);
+  EXPECT_EQ(s.LinearIndex({0, 0, 3}), 3);
+  EXPECT_EQ(s.LinearIndex({0, 1, 0}), 4);
+  EXPECT_EQ(s.LinearIndex({1, 2, 3}), 23);
+}
+
+TEST(ShapeTest, LinearIndexBoundsChecked) {
+  Shape s{2, 3};
+  EXPECT_THROW(s.LinearIndex({2, 0}), ShapeError);
+  EXPECT_THROW(s.LinearIndex({0, 3}), ShapeError);
+  EXPECT_THROW(s.LinearIndex({0}), ShapeError);     // wrong rank
+  EXPECT_THROW(s.LinearIndex({-1, 0}), ShapeError);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ((Shape{1, 2}), (Shape{1, 2}));
+  EXPECT_NE((Shape{1, 2}), (Shape{2, 1}));
+  EXPECT_NE((Shape{1, 2}), (Shape{1, 2, 1}));
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ((Shape{2, 3}).ToString(), "[2, 3]");
+  EXPECT_EQ(Shape{}.ToString(), "[]");
+}
+
+TEST(ShapeTest, NegativeDimRejected) {
+  EXPECT_THROW(Shape({-1, 2}), Error);
+}
+
+TEST(CeilDivTest, Basics) {
+  EXPECT_EQ(CeilDiv(7, 2), 4);
+  EXPECT_EQ(CeilDiv(8, 2), 4);
+  EXPECT_EQ(CeilDiv(1, 64), 1);
+  EXPECT_EQ(CeilDiv(0, 5), 0);
+  EXPECT_EQ(CeilDiv(144, 64), 3);  // the conv2_x edge-block case
+}
+
+}  // namespace
+}  // namespace hwp3d

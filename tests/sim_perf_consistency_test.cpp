@@ -1,0 +1,84 @@
+// Cross-model consistency: the functional tile simulator and the
+// analytic performance model must agree on the structural quantities
+// they both compute (tile iterations, blocks loaded/skipped, cycles)
+// for the same layer, tiling and mask — parameterized across shapes.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/projection.h"
+#include "fpga/tiled_conv_sim.h"
+#include "tensor/init.h"
+
+namespace hwp3d {
+namespace {
+
+struct Case {
+  int64_t M, N, K, in_d, in_hw;
+  int64_t Tm, Tn, Td, Tr, Tc;
+  double eta;
+};
+
+class ConsistencySweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ConsistencySweep, SimMatchesPerfModelCounters) {
+  const Case c = GetParam();
+  Rng rng(static_cast<uint64_t>(c.M * 131 + c.N));
+  TensorF wf(Shape{c.M, c.N, 1, c.K, c.K});
+  FillNormal(wf, rng, 0.0f, 1.0f);
+  const fpga::Tiling tiling{c.Tm, c.Tn, c.Td, c.Tr, c.Tc};
+
+  core::BlockPartition part(wf.shape(), tiling.block());
+  core::ProjectionResult proj = core::PlanBlockSparse(wf, part, c.eta);
+  const core::BlockMask* mask = c.eta > 0.0 ? &proj.mask : nullptr;
+
+  TensorF xf(Shape{c.N, c.in_d, c.in_hw, c.in_hw});
+  FillUniform(xf, rng, -1.0f, 1.0f);
+
+  fpga::TiledConvSim sim(tiling, fpga::Ports{});
+  const fpga::TiledConvResult run =
+      sim.Run(Quantize(wf), Quantize(xf), {1, 1, 1}, mask, {});
+
+  models::ConvLayerSpec spec;
+  spec.M = c.M;
+  spec.N = c.N;
+  spec.Kd = 1;
+  spec.Kr = spec.Kc = c.K;
+  spec.Sd = spec.Sr = spec.Sc = 1;
+  spec.D = c.in_d;  // Kd = 1, stride 1
+  spec.R = spec.C = c.in_hw - c.K + 1;
+  fpga::PerfModel pm(tiling, fpga::Ports{});
+  const fpga::LayerLatency lat = pm.LayerCycles(spec, mask);
+
+  EXPECT_EQ(run.stats.tile_iterations, lat.tile_iterations);
+  EXPECT_EQ(run.stats.blocks_loaded, lat.blocks_loaded);
+  EXPECT_EQ(run.stats.blocks_skipped, lat.blocks_skipped);
+  EXPECT_EQ(run.stats.modeled_cycles, lat.cycles);
+  // Dense MAC count equals the workload; pruned strictly less.
+  const int64_t dense_macs =
+      c.M * c.N * c.K * c.K * spec.D * spec.R * spec.C;
+  if (mask == nullptr) {
+    EXPECT_EQ(run.stats.macs_executed, dense_macs);
+  } else {
+    EXPECT_LT(run.stats.macs_executed, dense_macs);
+    EXPECT_GT(run.stats.macs_executed, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConsistencySweep,
+    ::testing::Values(
+        // Dense, tiling divides everything.
+        Case{8, 8, 3, 4, 10, 4, 4, 2, 4, 4, 0.0},
+        // Dense, partial tiles in every dimension.
+        Case{10, 6, 3, 5, 9, 4, 4, 2, 3, 3, 0.0},
+        // Pruned, even grid.
+        Case{8, 8, 3, 4, 10, 4, 4, 2, 4, 4, 0.5},
+        // Pruned, edge blocks.
+        Case{10, 6, 3, 5, 9, 4, 4, 2, 3, 3, 0.5},
+        // Heavily pruned, 1x1 kernel.
+        Case{16, 16, 1, 4, 8, 4, 4, 2, 4, 4, 0.9},
+        // Single-block layer.
+        Case{4, 4, 3, 4, 8, 4, 4, 4, 8, 8, 0.0}));
+
+}  // namespace
+}  // namespace hwp3d

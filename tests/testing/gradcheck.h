@@ -1,0 +1,110 @@
+// Numerical gradient checking for nn::Module layers.
+//
+// Compares analytic gradients (Backward) against central finite
+// differences of a scalar loss L = sum(y * seed) where `seed` is a fixed
+// random tensor, for both inputs and parameters.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace hwp3d::testing {
+
+struct GradCheckOptions {
+  float epsilon = 1e-2f;   // finite-difference step
+  float rtol = 5e-2f;      // relative tolerance
+  float atol = 5e-3f;      // absolute tolerance
+  int max_checks = 64;     // elements probed per tensor (strided)
+};
+
+// Scalar loss: L(y) = sum_i seed_i * y_i.
+inline float SeededLoss(const TensorF& y, const TensorF& seed) {
+  return Dot(y, seed);
+}
+
+// Checks dL/dx for the module input.
+inline void CheckInputGradient(nn::Module& module, TensorF x,
+                               uint64_t seed_val = 7,
+                               GradCheckOptions opt = {}) {
+  Rng rng(seed_val);
+  TensorF y = module.Forward(x, /*train=*/true);
+  TensorF seed(y.shape());
+  FillUniform(seed, rng, -1.0f, 1.0f);
+  module.ZeroGrad();
+  const TensorF dx = module.Backward(seed);
+  ASSERT_EQ(dx.shape().ToString(), x.shape().ToString());
+
+  const int64_t n = x.numel();
+  const int64_t stride = std::max<int64_t>(1, n / opt.max_checks);
+  for (int64_t i = 0; i < n; i += stride) {
+    const float orig = x[i];
+    x[i] = orig + opt.epsilon;
+    const float lp = SeededLoss(module.Forward(x, true), seed);
+    x[i] = orig - opt.epsilon;
+    const float lm = SeededLoss(module.Forward(x, true), seed);
+    x[i] = orig;
+    const float l0 = SeededLoss(module.Forward(x, true), seed);
+    const float numeric = (lp - lm) / (2.0f * opt.epsilon);
+    // Kink detector: near a ReLU boundary the one-sided derivatives
+    // disagree and the central difference is meaningless — skip.
+    const float fwd = (lp - l0) / opt.epsilon;
+    const float bwd = (l0 - lm) / opt.epsilon;
+    if (std::fabs(fwd - bwd) >
+        0.1f * (std::fabs(fwd) + std::fabs(bwd)) + opt.atol) {
+      continue;
+    }
+    const float analytic = dx[i];
+    const float tol = opt.atol + opt.rtol * std::fabs(numeric);
+    EXPECT_NEAR(analytic, numeric, tol)
+        << "input grad mismatch at flat index " << i;
+  }
+  // Restore caches for any subsequent use.
+  module.Forward(x, true);
+  module.ZeroGrad();
+  module.Backward(seed);
+}
+
+// Checks dL/dw for every parameter of the module.
+inline void CheckParamGradients(nn::Module& module, const TensorF& x,
+                                uint64_t seed_val = 7,
+                                GradCheckOptions opt = {}) {
+  Rng rng(seed_val);
+  TensorF y = module.Forward(x, /*train=*/true);
+  TensorF seed(y.shape());
+  FillUniform(seed, rng, -1.0f, 1.0f);
+  module.ZeroGrad();
+  module.Backward(seed);
+
+  for (nn::Param* p : module.Params()) {
+    const int64_t n = p->value.numel();
+    const int64_t stride = std::max<int64_t>(1, n / opt.max_checks);
+    for (int64_t i = 0; i < n; i += stride) {
+      const float analytic = p->grad[i];
+      const float orig = p->value[i];
+      p->value[i] = orig + opt.epsilon;
+      const float lp = SeededLoss(module.Forward(x, true), seed);
+      p->value[i] = orig - opt.epsilon;
+      const float lm = SeededLoss(module.Forward(x, true), seed);
+      p->value[i] = orig;
+      const float l0 = SeededLoss(module.Forward(x, true), seed);
+      const float numeric = (lp - lm) / (2.0f * opt.epsilon);
+      const float fwd = (lp - l0) / opt.epsilon;
+      const float bwd = (l0 - lm) / opt.epsilon;
+      if (std::fabs(fwd - bwd) >
+          0.1f * (std::fabs(fwd) + std::fabs(bwd)) + opt.atol) {
+        continue;  // non-differentiable point (ReLU kink)
+      }
+      const float tol = opt.atol + opt.rtol * std::fabs(numeric);
+      EXPECT_NEAR(analytic, numeric, tol)
+          << "param " << p->name << " grad mismatch at flat index " << i;
+    }
+  }
+}
+
+}  // namespace hwp3d::testing

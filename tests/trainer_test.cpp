@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/trainer.h"
+#include "tensor/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace hwp3d {
+namespace {
+
+// A linearly-separable 2-class toy problem on 2-D points.
+std::vector<nn::Batch> ToyBatches(int batches, int bsz, Rng& rng) {
+  std::vector<nn::Batch> out;
+  for (int b = 0; b < batches; ++b) {
+    nn::Batch batch;
+    batch.clips = TensorF(Shape{bsz, 2});
+    batch.labels.resize(static_cast<size_t>(bsz));
+    for (int i = 0; i < bsz; ++i) {
+      const int label = rng.Flip() ? 1 : 0;
+      const float center = label == 0 ? -1.0f : 1.0f;
+      batch.clips(i, 0) = center + static_cast<float>(rng.Normal(0, 0.3));
+      batch.clips(i, 1) = -center + static_cast<float>(rng.Normal(0, 0.3));
+      batch.labels[static_cast<size_t>(i)] = label;
+    }
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+TEST(TrainerTest, LearnsSeparableProblem) {
+  Rng rng(1);
+  const auto train = ToyBatches(8, 16, rng);
+  nn::Sequential model;
+  model.Emplace<nn::Linear>(2, 2, rng, "fc");
+  nn::Sgd opt(model.Params(), {.lr = 0.2f, .momentum = 0.9f,
+                               .weight_decay = 0.0f});
+  nn::EpochStats last;
+  for (int e = 0; e < 10; ++e) last = nn::TrainEpoch(model, opt, train, {});
+  EXPECT_GT(last.accuracy, 0.95);
+  EXPECT_LT(last.mean_loss, 0.3f);
+  EXPECT_EQ(last.samples, 8 * 16);
+}
+
+TEST(TrainerTest, HooksFirePerBatch) {
+  Rng rng(2);
+  const auto train = ToyBatches(5, 4, rng);
+  nn::Sequential model;
+  model.Emplace<nn::Linear>(2, 2, rng, "fc");
+  nn::Sgd opt(model.Params(), {.lr = 0.1f, .momentum = 0.0f,
+                               .weight_decay = 0.0f});
+  int backward_hooks = 0, step_hooks = 0;
+  nn::TrainOptions opts;
+  opts.post_backward = [&]() { ++backward_hooks; };
+  opts.post_step = [&]() { ++step_hooks; };
+  nn::TrainEpoch(model, opt, train, opts);
+  EXPECT_EQ(backward_hooks, 5);
+  EXPECT_EQ(step_hooks, 5);
+}
+
+TEST(TrainerTest, PostBackwardSeesGradsBeforeStep) {
+  Rng rng(3);
+  const auto train = ToyBatches(1, 8, rng);
+  nn::Sequential model;
+  nn::Linear* fc = model.Emplace<nn::Linear>(2, 2, rng, "fc");
+  nn::Sgd opt(model.Params(), {.lr = 0.1f, .momentum = 0.0f,
+                               .weight_decay = 0.0f});
+  float grad_norm_at_hook = -1.0f;
+  nn::TrainOptions opts;
+  opts.post_backward = [&]() {
+    grad_norm_at_hook = MaxAbs(fc->weight().grad);
+  };
+  nn::TrainEpoch(model, opt, train, opts);
+  EXPECT_GT(grad_norm_at_hook, 0.0f);
+}
+
+TEST(TrainerTest, EvaluateDoesNotTrain) {
+  Rng rng(4);
+  const auto data = ToyBatches(3, 8, rng);
+  nn::Sequential model;
+  nn::Linear* fc = model.Emplace<nn::Linear>(2, 2, rng, "fc");
+  const TensorF before = fc->weight().value;
+  const nn::EpochStats stats = nn::Evaluate(model, data);
+  EXPECT_TRUE(AllClose(fc->weight().value, before, 0.0f, 0.0f));
+  EXPECT_EQ(stats.samples, 24);
+}
+
+TEST(TrainerTest, EmptyBatchesGiveZeroStats) {
+  Rng rng(5);
+  nn::Sequential model;
+  model.Emplace<nn::Linear>(2, 2, rng, "fc");
+  nn::Sgd opt(model.Params(), {.lr = 0.1f, .momentum = 0.0f,
+                               .weight_decay = 0.0f});
+  const nn::EpochStats stats = nn::TrainEpoch(model, opt, {}, {});
+  EXPECT_EQ(stats.samples, 0);
+  EXPECT_DOUBLE_EQ(stats.accuracy, 0.0);
+}
+
+}  // namespace
+}  // namespace hwp3d
