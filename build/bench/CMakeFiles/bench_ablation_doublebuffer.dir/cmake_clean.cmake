@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_doublebuffer.dir/bench_ablation_doublebuffer.cpp.o"
+  "CMakeFiles/bench_ablation_doublebuffer.dir/bench_ablation_doublebuffer.cpp.o.d"
+  "bench_ablation_doublebuffer"
+  "bench_ablation_doublebuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_doublebuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accuracy_admm.dir/bench_accuracy_admm.cpp.o"
+  "CMakeFiles/bench_accuracy_admm.dir/bench_accuracy_admm.cpp.o.d"
+  "bench_accuracy_admm"
+  "bench_accuracy_admm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accuracy_admm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

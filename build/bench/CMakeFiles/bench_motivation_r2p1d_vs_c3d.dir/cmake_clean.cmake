@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivation_r2p1d_vs_c3d.dir/bench_motivation_r2p1d_vs_c3d.cpp.o"
+  "CMakeFiles/bench_motivation_r2p1d_vs_c3d.dir/bench_motivation_r2p1d_vs_c3d.cpp.o.d"
+  "bench_motivation_r2p1d_vs_c3d"
+  "bench_motivation_r2p1d_vs_c3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivation_r2p1d_vs_c3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

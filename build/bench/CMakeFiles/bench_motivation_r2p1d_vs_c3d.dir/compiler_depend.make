@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_motivation_r2p1d_vs_c3d.
+# This may be replaced when dependencies are built.

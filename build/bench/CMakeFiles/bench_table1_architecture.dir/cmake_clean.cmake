@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_architecture.dir/bench_table1_architecture.cpp.o"
+  "CMakeFiles/bench_table1_architecture.dir/bench_table1_architecture.cpp.o.d"
+  "bench_table1_architecture"
+  "bench_table1_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

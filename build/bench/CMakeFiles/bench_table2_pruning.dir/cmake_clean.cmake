@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_pruning.dir/bench_table2_pruning.cpp.o"
+  "CMakeFiles/bench_table2_pruning.dir/bench_table2_pruning.cpp.o.d"
+  "bench_table2_pruning"
+  "bench_table2_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_inference.dir/accelerator_inference.cpp.o"
+  "CMakeFiles/accelerator_inference.dir/accelerator_inference.cpp.o.d"
+  "accelerator_inference"
+  "accelerator_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prune_video_model.dir/prune_video_model.cpp.o"
+  "CMakeFiles/prune_video_model.dir/prune_video_model.cpp.o.d"
+  "prune_video_model"
+  "prune_video_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prune_video_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

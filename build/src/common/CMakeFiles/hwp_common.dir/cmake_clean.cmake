@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwp_common.dir/logging.cpp.o"
+  "CMakeFiles/hwp_common.dir/logging.cpp.o.d"
+  "CMakeFiles/hwp_common.dir/strings.cpp.o"
+  "CMakeFiles/hwp_common.dir/strings.cpp.o.d"
+  "libhwp_common.a"
+  "libhwp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admm.cpp" "src/core/CMakeFiles/hwp_core.dir/admm.cpp.o" "gcc" "src/core/CMakeFiles/hwp_core.dir/admm.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/hwp_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/hwp_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/block_partition.cpp" "src/core/CMakeFiles/hwp_core.dir/block_partition.cpp.o" "gcc" "src/core/CMakeFiles/hwp_core.dir/block_partition.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/hwp_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/hwp_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/projection.cpp" "src/core/CMakeFiles/hwp_core.dir/projection.cpp.o" "gcc" "src/core/CMakeFiles/hwp_core.dir/projection.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/hwp_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/hwp_core.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/hwp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hwp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hwp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

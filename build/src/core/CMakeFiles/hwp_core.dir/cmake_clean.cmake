@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwp_core.dir/admm.cpp.o"
+  "CMakeFiles/hwp_core.dir/admm.cpp.o.d"
+  "CMakeFiles/hwp_core.dir/baselines.cpp.o"
+  "CMakeFiles/hwp_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/hwp_core.dir/block_partition.cpp.o"
+  "CMakeFiles/hwp_core.dir/block_partition.cpp.o.d"
+  "CMakeFiles/hwp_core.dir/pipeline.cpp.o"
+  "CMakeFiles/hwp_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hwp_core.dir/projection.cpp.o"
+  "CMakeFiles/hwp_core.dir/projection.cpp.o.d"
+  "CMakeFiles/hwp_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/hwp_core.dir/sensitivity.cpp.o.d"
+  "libhwp_core.a"
+  "libhwp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

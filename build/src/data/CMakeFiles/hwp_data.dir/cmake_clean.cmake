@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwp_data.dir/synthetic_video.cpp.o"
+  "CMakeFiles/hwp_data.dir/synthetic_video.cpp.o.d"
+  "libhwp_data.a"
+  "libhwp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwp_fixed.dir/quantize.cpp.o"
+  "CMakeFiles/hwp_fixed.dir/quantize.cpp.o.d"
+  "libhwp_fixed.a"
+  "libhwp_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwp_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/bandwidth_model.cpp" "src/fpga/CMakeFiles/hwp_fpga.dir/bandwidth_model.cpp.o" "gcc" "src/fpga/CMakeFiles/hwp_fpga.dir/bandwidth_model.cpp.o.d"
+  "/root/repo/src/fpga/device.cpp" "src/fpga/CMakeFiles/hwp_fpga.dir/device.cpp.o" "gcc" "src/fpga/CMakeFiles/hwp_fpga.dir/device.cpp.o.d"
+  "/root/repo/src/fpga/dse.cpp" "src/fpga/CMakeFiles/hwp_fpga.dir/dse.cpp.o" "gcc" "src/fpga/CMakeFiles/hwp_fpga.dir/dse.cpp.o.d"
+  "/root/repo/src/fpga/model_compiler.cpp" "src/fpga/CMakeFiles/hwp_fpga.dir/model_compiler.cpp.o" "gcc" "src/fpga/CMakeFiles/hwp_fpga.dir/model_compiler.cpp.o.d"
+  "/root/repo/src/fpga/perf_model.cpp" "src/fpga/CMakeFiles/hwp_fpga.dir/perf_model.cpp.o" "gcc" "src/fpga/CMakeFiles/hwp_fpga.dir/perf_model.cpp.o.d"
+  "/root/repo/src/fpga/resource_model.cpp" "src/fpga/CMakeFiles/hwp_fpga.dir/resource_model.cpp.o" "gcc" "src/fpga/CMakeFiles/hwp_fpga.dir/resource_model.cpp.o.d"
+  "/root/repo/src/fpga/scheduler.cpp" "src/fpga/CMakeFiles/hwp_fpga.dir/scheduler.cpp.o" "gcc" "src/fpga/CMakeFiles/hwp_fpga.dir/scheduler.cpp.o.d"
+  "/root/repo/src/fpga/spec_masks.cpp" "src/fpga/CMakeFiles/hwp_fpga.dir/spec_masks.cpp.o" "gcc" "src/fpga/CMakeFiles/hwp_fpga.dir/spec_masks.cpp.o.d"
+  "/root/repo/src/fpga/tiled_conv_sim.cpp" "src/fpga/CMakeFiles/hwp_fpga.dir/tiled_conv_sim.cpp.o" "gcc" "src/fpga/CMakeFiles/hwp_fpga.dir/tiled_conv_sim.cpp.o.d"
+  "/root/repo/src/fpga/tiling.cpp" "src/fpga/CMakeFiles/hwp_fpga.dir/tiling.cpp.o" "gcc" "src/fpga/CMakeFiles/hwp_fpga.dir/tiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hwp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/hwp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/hwp_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hwp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hwp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hwp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwp_fpga.dir/bandwidth_model.cpp.o"
+  "CMakeFiles/hwp_fpga.dir/bandwidth_model.cpp.o.d"
+  "CMakeFiles/hwp_fpga.dir/device.cpp.o"
+  "CMakeFiles/hwp_fpga.dir/device.cpp.o.d"
+  "CMakeFiles/hwp_fpga.dir/dse.cpp.o"
+  "CMakeFiles/hwp_fpga.dir/dse.cpp.o.d"
+  "CMakeFiles/hwp_fpga.dir/model_compiler.cpp.o"
+  "CMakeFiles/hwp_fpga.dir/model_compiler.cpp.o.d"
+  "CMakeFiles/hwp_fpga.dir/perf_model.cpp.o"
+  "CMakeFiles/hwp_fpga.dir/perf_model.cpp.o.d"
+  "CMakeFiles/hwp_fpga.dir/resource_model.cpp.o"
+  "CMakeFiles/hwp_fpga.dir/resource_model.cpp.o.d"
+  "CMakeFiles/hwp_fpga.dir/scheduler.cpp.o"
+  "CMakeFiles/hwp_fpga.dir/scheduler.cpp.o.d"
+  "CMakeFiles/hwp_fpga.dir/spec_masks.cpp.o"
+  "CMakeFiles/hwp_fpga.dir/spec_masks.cpp.o.d"
+  "CMakeFiles/hwp_fpga.dir/tiled_conv_sim.cpp.o"
+  "CMakeFiles/hwp_fpga.dir/tiled_conv_sim.cpp.o.d"
+  "CMakeFiles/hwp_fpga.dir/tiling.cpp.o"
+  "CMakeFiles/hwp_fpga.dir/tiling.cpp.o.d"
+  "libhwp_fpga.a"
+  "libhwp_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwp_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

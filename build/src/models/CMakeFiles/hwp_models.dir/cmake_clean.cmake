@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwp_models.dir/network_spec.cpp.o"
+  "CMakeFiles/hwp_models.dir/network_spec.cpp.o.d"
+  "CMakeFiles/hwp_models.dir/tiny_c3d.cpp.o"
+  "CMakeFiles/hwp_models.dir/tiny_c3d.cpp.o.d"
+  "CMakeFiles/hwp_models.dir/tiny_r2plus1d.cpp.o"
+  "CMakeFiles/hwp_models.dir/tiny_r2plus1d.cpp.o.d"
+  "libhwp_models.a"
+  "libhwp_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwp_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

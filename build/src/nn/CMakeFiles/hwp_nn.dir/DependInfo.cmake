@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/hwp_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/hwp_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm3d.cpp" "src/nn/CMakeFiles/hwp_nn.dir/batchnorm3d.cpp.o" "gcc" "src/nn/CMakeFiles/hwp_nn.dir/batchnorm3d.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/hwp_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/hwp_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/conv3d.cpp" "src/nn/CMakeFiles/hwp_nn.dir/conv3d.cpp.o" "gcc" "src/nn/CMakeFiles/hwp_nn.dir/conv3d.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/hwp_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/hwp_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/hwp_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/hwp_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/hwp_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/hwp_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pool3d.cpp" "src/nn/CMakeFiles/hwp_nn.dir/pool3d.cpp.o" "gcc" "src/nn/CMakeFiles/hwp_nn.dir/pool3d.cpp.o.d"
+  "/root/repo/src/nn/r2plus1d_block.cpp" "src/nn/CMakeFiles/hwp_nn.dir/r2plus1d_block.cpp.o" "gcc" "src/nn/CMakeFiles/hwp_nn.dir/r2plus1d_block.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/hwp_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/hwp_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/hwp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hwp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwp_nn.dir/activations.cpp.o"
+  "CMakeFiles/hwp_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/hwp_nn.dir/batchnorm3d.cpp.o"
+  "CMakeFiles/hwp_nn.dir/batchnorm3d.cpp.o.d"
+  "CMakeFiles/hwp_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/hwp_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/hwp_nn.dir/conv3d.cpp.o"
+  "CMakeFiles/hwp_nn.dir/conv3d.cpp.o.d"
+  "CMakeFiles/hwp_nn.dir/linear.cpp.o"
+  "CMakeFiles/hwp_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/hwp_nn.dir/loss.cpp.o"
+  "CMakeFiles/hwp_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/hwp_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/hwp_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/hwp_nn.dir/pool3d.cpp.o"
+  "CMakeFiles/hwp_nn.dir/pool3d.cpp.o.d"
+  "CMakeFiles/hwp_nn.dir/r2plus1d_block.cpp.o"
+  "CMakeFiles/hwp_nn.dir/r2plus1d_block.cpp.o.d"
+  "CMakeFiles/hwp_nn.dir/trainer.cpp.o"
+  "CMakeFiles/hwp_nn.dir/trainer.cpp.o.d"
+  "libhwp_nn.a"
+  "libhwp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

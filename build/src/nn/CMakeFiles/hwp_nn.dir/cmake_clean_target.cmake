@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhwp_nn.a"
+)

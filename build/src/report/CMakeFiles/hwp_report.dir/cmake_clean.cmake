@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwp_report.dir/table.cpp.o"
+  "CMakeFiles/hwp_report.dir/table.cpp.o.d"
+  "libhwp_report.a"
+  "libhwp_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwp_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

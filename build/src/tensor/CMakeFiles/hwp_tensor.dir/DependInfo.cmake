@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/init.cpp" "src/tensor/CMakeFiles/hwp_tensor.dir/init.cpp.o" "gcc" "src/tensor/CMakeFiles/hwp_tensor.dir/init.cpp.o.d"
+  "/root/repo/src/tensor/serialize.cpp" "src/tensor/CMakeFiles/hwp_tensor.dir/serialize.cpp.o" "gcc" "src/tensor/CMakeFiles/hwp_tensor.dir/serialize.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "src/tensor/CMakeFiles/hwp_tensor.dir/shape.cpp.o" "gcc" "src/tensor/CMakeFiles/hwp_tensor.dir/shape.cpp.o.d"
+  "/root/repo/src/tensor/tensor_ops.cpp" "src/tensor/CMakeFiles/hwp_tensor.dir/tensor_ops.cpp.o" "gcc" "src/tensor/CMakeFiles/hwp_tensor.dir/tensor_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hwp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwp_tensor.dir/init.cpp.o"
+  "CMakeFiles/hwp_tensor.dir/init.cpp.o.d"
+  "CMakeFiles/hwp_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/hwp_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/hwp_tensor.dir/shape.cpp.o"
+  "CMakeFiles/hwp_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/hwp_tensor.dir/tensor_ops.cpp.o"
+  "CMakeFiles/hwp_tensor.dir/tensor_ops.cpp.o.d"
+  "libhwp_tensor.a"
+  "libhwp_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwp_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admm_test.dir/admm_test.cpp.o"
+  "CMakeFiles/admm_test.dir/admm_test.cpp.o.d"
+  "admm_test"
+  "admm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_model_test.dir/bandwidth_model_test.cpp.o"
+  "CMakeFiles/bandwidth_model_test.dir/bandwidth_model_test.cpp.o.d"
+  "bandwidth_model_test"
+  "bandwidth_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_partition_test.dir/block_partition_test.cpp.o"
+  "CMakeFiles/block_partition_test.dir/block_partition_test.cpp.o.d"
+  "block_partition_test"
+  "block_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv3d_test.dir/conv3d_test.cpp.o"
+  "CMakeFiles/conv3d_test.dir/conv3d_test.cpp.o.d"
+  "conv3d_test"
+  "conv3d_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv3d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loss_optimizer_test.dir/loss_optimizer_test.cpp.o"
+  "CMakeFiles/loss_optimizer_test.dir/loss_optimizer_test.cpp.o.d"
+  "loss_optimizer_test"
+  "loss_optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loss_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_compiler_test.dir/model_compiler_test.cpp.o"
+  "CMakeFiles/model_compiler_test.dir/model_compiler_test.cpp.o.d"
+  "model_compiler_test"
+  "model_compiler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

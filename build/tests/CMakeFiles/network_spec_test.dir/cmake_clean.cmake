@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_spec_test.dir/network_spec_test.cpp.o"
+  "CMakeFiles/network_spec_test.dir/network_spec_test.cpp.o.d"
+  "network_spec_test"
+  "network_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

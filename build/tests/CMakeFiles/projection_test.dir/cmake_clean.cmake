@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projection_test.dir/projection_test.cpp.o"
+  "CMakeFiles/projection_test.dir/projection_test.cpp.o.d"
+  "projection_test"
+  "projection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

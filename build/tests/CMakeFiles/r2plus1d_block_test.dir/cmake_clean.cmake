@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2plus1d_block_test.dir/r2plus1d_block_test.cpp.o"
+  "CMakeFiles/r2plus1d_block_test.dir/r2plus1d_block_test.cpp.o.d"
+  "r2plus1d_block_test"
+  "r2plus1d_block_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2plus1d_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

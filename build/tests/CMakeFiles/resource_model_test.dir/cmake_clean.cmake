@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_model_test.dir/resource_model_test.cpp.o"
+  "CMakeFiles/resource_model_test.dir/resource_model_test.cpp.o.d"
+  "resource_model_test"
+  "resource_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

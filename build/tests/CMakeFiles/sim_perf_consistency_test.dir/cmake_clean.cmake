@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_perf_consistency_test.dir/sim_perf_consistency_test.cpp.o"
+  "CMakeFiles/sim_perf_consistency_test.dir/sim_perf_consistency_test.cpp.o.d"
+  "sim_perf_consistency_test"
+  "sim_perf_consistency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_perf_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

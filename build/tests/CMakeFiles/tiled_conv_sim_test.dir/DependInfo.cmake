@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tiled_conv_sim_test.cpp" "tests/CMakeFiles/tiled_conv_sim_test.dir/tiled_conv_sim_test.cpp.o" "gcc" "tests/CMakeFiles/tiled_conv_sim_test.dir/tiled_conv_sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpga/CMakeFiles/hwp_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hwp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/hwp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hwp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hwp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/hwp_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hwp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/hwp_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hwp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiled_conv_sim_test.dir/tiled_conv_sim_test.cpp.o"
+  "CMakeFiles/tiled_conv_sim_test.dir/tiled_conv_sim_test.cpp.o.d"
+  "tiled_conv_sim_test"
+  "tiled_conv_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiled_conv_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

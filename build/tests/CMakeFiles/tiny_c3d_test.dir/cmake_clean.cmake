@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiny_c3d_test.dir/tiny_c3d_test.cpp.o"
+  "CMakeFiles/tiny_c3d_test.dir/tiny_c3d_test.cpp.o.d"
+  "tiny_c3d_test"
+  "tiny_c3d_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiny_c3d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
