@@ -8,6 +8,8 @@
 #include "core/projection.h"
 #include "fpga/tiled_conv_sim.h"
 #include "nn/conv3d.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/init.h"
 
 using namespace hwp3d;
@@ -91,6 +93,50 @@ void BM_TiledSimPruned90(benchmark::State& state) {
   RunTiledSim(state, 0.9);
 }
 BENCHMARK(BM_TiledSimPruned90);
+
+// Observability overhead: a disabled TraceScope must cost a single
+// relaxed atomic load (sub-nanosecond), so instrumented hot paths stay
+// free when tracing is off. The enabled variant shows the record cost.
+void BM_TraceScopeDisabled(benchmark::State& state) {
+  obs::Tracer::Get().SetEnabled(false);
+  for (auto _ : state) {
+    HWP_TRACE_SCOPE("bench/disabled");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceScopeDisabled);
+
+void BM_TraceScopeEnabled(benchmark::State& state) {
+  obs::Tracer& tracer = obs::Tracer::Get();
+  tracer.SetEnabled(true);
+  size_t n = 0;
+  for (auto _ : state) {
+    HWP_TRACE_SCOPE("bench/enabled");
+    if (++n % 65536 == 0) tracer.Clear();  // bound buffer growth
+    benchmark::ClobberMemory();
+  }
+  tracer.SetEnabled(false);
+  tracer.Clear();
+}
+BENCHMARK(BM_TraceScopeEnabled);
+
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  obs::Counter& c =
+      obs::MetricsRegistry::Get().GetCounter("bench.counter");
+  for (auto _ : state) {
+    c.Add(1);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_MetricsCounterAdd);
+
+void BM_MetricsCounterLookup(benchmark::State& state) {
+  auto& reg = obs::MetricsRegistry::Get();
+  for (auto _ : state) {
+    reg.GetCounter("bench.lookup", {{"layer", "conv2a"}}).Add(1);
+  }
+}
+BENCHMARK(BM_MetricsCounterLookup);
 
 }  // namespace
 

@@ -9,6 +9,9 @@
 //
 // on held-out clips: prediction agreement, accuracy, and modeled cycles
 // (the functional counterpart of Table IV's 2.6x claim).
+// Observability: --trace-out trace.json --metrics-out metrics.jsonl
+// emit a Chrome trace (one span per conv layer run) and JSONL metrics
+// whose sim.* counters match the accumulated TiledConvStats exactly.
 #include <cstdio>
 
 #include "common/logging.h"
@@ -17,11 +20,14 @@
 #include "data/synthetic_video.h"
 #include "fpga/model_compiler.h"
 #include "models/tiny_r2plus1d.h"
+#include "obs/cli.h"
+#include "obs/metrics.h"
 #include "report/table.h"
 
 using namespace hwp3d;
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::InitFromArgs(argc, argv);
   SetLogLevel(LogLevel::Warning);
   Rng rng(19);
 
@@ -122,5 +128,24 @@ int main() {
       "executed: %.2fx fewer)\n",
       (double)dense_stats.modeled_cycles / accel_stats.modeled_cycles,
       (double)dense_stats.macs_executed / accel_stats.macs_executed);
+
+  // The metrics registry was fed by the same TiledConvSim::Run calls
+  // that filled the CompiledRunStats, so the totals must agree exactly.
+  const auto& reg = obs::MetricsRegistry::Get();
+  const long long stats_loaded =
+      dense_stats.blocks_loaded + accel_stats.blocks_loaded;
+  const long long stats_skipped =
+      dense_stats.blocks_skipped + accel_stats.blocks_skipped;
+  std::printf(
+      "metrics cross-check: sim.blocks_loaded %lld (stats %lld), "
+      "sim.blocks_skipped %lld (stats %lld)%s\n",
+      (long long)reg.CounterTotal("sim.blocks_loaded"), stats_loaded,
+      (long long)reg.CounterTotal("sim.blocks_skipped"), stats_skipped,
+      (reg.CounterTotal("sim.blocks_loaded") == stats_loaded &&
+       reg.CounterTotal("sim.blocks_skipped") == stats_skipped)
+          ? " [OK]"
+          : " [MISMATCH]");
+
+  obs::Finalize(obs_opts);
   return 0;
 }

@@ -5,16 +5,19 @@
 // pruning targets change the ranking.
 //
 // Usage: design_explorer [zcu102|zc706|vc709|vus440]
+//                        [--trace-out trace.json] [--metrics-out m.jsonl]
 #include <cstdio>
 #include <cstring>
 
 #include "fpga/dse.h"
 #include "fpga/scheduler.h"
+#include "obs/cli.h"
 #include "report/table.h"
 
 using namespace hwp3d;
 
 int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::InitFromArgs(argc, argv);
   fpga::FpgaDevice dev = fpga::Zcu102();
   if (argc > 1) {
     if (std::strcmp(argv[1], "zc706") == 0) dev = fpga::Zc706();
@@ -83,5 +86,7 @@ int main(int argc, char** argv) {
     }
     stage.Print();
   }
+
+  obs::Finalize(obs_opts);
   return 0;
 }

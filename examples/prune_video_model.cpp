@@ -6,6 +6,7 @@
 // This is the miniature of the paper's Section V pipeline (their
 // schedule: 4 rounds x 50 epochs, rho in {1e-4..1e-1}, 100 retrain
 // epochs on UCF101; ours is scaled to the synthetic dataset).
+// Observability: --trace-out trace.json --metrics-out metrics.jsonl
 #include <cstdio>
 
 #include "common/logging.h"
@@ -13,11 +14,13 @@
 #include "core/pipeline.h"
 #include "data/synthetic_video.h"
 #include "models/tiny_r2plus1d.h"
+#include "obs/cli.h"
 #include "report/table.h"
 
 using namespace hwp3d;
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::InitFromArgs(argc, argv);
   SetLogLevel(LogLevel::Warning);
   Rng rng(7);
 
@@ -88,5 +91,7 @@ int main() {
       dense_acc * 100, result.hard_prune_test_acc * 100,
       result.retrained_test_acc * 100);
   std::printf("(paper at full scale: 89.0%% -> 88.66%% after retraining)\n");
+
+  obs::Finalize(obs_opts);
   return 0;
 }

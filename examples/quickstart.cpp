@@ -6,6 +6,7 @@
 //  4. estimate the FPGA latency effect of the resulting block-enable map.
 //
 // Build & run:   ./build/examples/quickstart
+// Observability: --trace-out trace.json --metrics-out metrics.jsonl
 #include <cstdio>
 
 #include "common/rng.h"
@@ -15,10 +16,12 @@
 #include "models/tiny_r2plus1d.h"
 #include "nn/optimizer.h"
 #include "nn/trainer.h"
+#include "obs/cli.h"
 
 using namespace hwp3d;
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::InitFromArgs(argc, argv);
   Rng rng(42);
 
   // 1. Data: 4 motion classes (right/left/down/up movers) — classes are
@@ -78,5 +81,7 @@ int main() {
   std::printf("layer cycles: dense %lld -> pruned %lld (%.2fx)\n",
               (long long)dense.cycles, (long long)pruned.cycles,
               (double)dense.cycles / pruned.cycles);
+
+  obs::Finalize(obs_opts);
   return 0;
 }

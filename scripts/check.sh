@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local gate: build + test the release config, then rebuild and
+# re-run everything under ASan + UBSan. Usage: scripts/check.sh [-j N]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+if [[ "${1:-}" == "-j" && -n "${2:-}" ]]; then
+  JOBS="$2"
+fi
+
+for preset in release sanitize; do
+  echo "==> configure (${preset})"
+  cmake --preset "${preset}"
+  echo "==> build (${preset})"
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  echo "==> test (${preset})"
+  ctest --preset "${preset}" -j "${JOBS}"
+done
+
+echo "==> all checks passed"

@@ -1,14 +1,32 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
 
 namespace hwp3d {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+std::once_flag g_env_once;
 std::mutex g_emit_mutex;
+LogSink g_sink;  // guarded by g_emit_mutex; empty = stderr
+
+// HWP_LOG_LEVEL is applied once, lazily, before the first level read —
+// an explicit SetLogLevel always wins afterwards.
+void ApplyEnvLevelOnce() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("HWP_LOG_LEVEL");
+    if (env == nullptr) return;
+    if (const auto parsed = ParseLogLevel(env)) {
+      g_level.store(static_cast<int>(*parsed));
+    }
+  });
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,26 +44,86 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+// ISO-8601 UTC with milliseconds: 2026-08-07T12:34:56.789Z
+std::string Timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+uint32_t ThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id = next.fetch_add(1);
+  return id;
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+void SetLogLevel(LogLevel level) {
+  ApplyEnvLevelOnce();  // consume the env var so it cannot override us
+  g_level.store(static_cast<int>(level));
+}
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel GetLogLevel() {
+  ApplyEnvLevelOnce();
+  return static_cast<LogLevel>(g_level.load());
+}
+
+std::optional<LogLevel> ParseLogLevel(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::Debug;
+  if (lower == "info" || lower == "1") return LogLevel::Info;
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return LogLevel::Warning;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::Error;
+  if (lower == "off" || lower == "none" || lower == "4") return LogLevel::Off;
+  return std::nullopt;
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  g_sink = std::move(sink);
+}
+
+void ResetLogSink() { SetLogSink(nullptr); }
 
 namespace detail {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(static_cast<int>(level) >= g_level.load()), level_(level) {
+    : enabled_(static_cast<int>(level) >=
+               static_cast<int>(GetLogLevel())),
+      level_(level) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level_) << " " << Basename(file) << ":" << line
-            << "] ";
+    stream_ << "[" << Timestamp() << " " << LevelName(level_) << " t"
+            << ThreadId() << " " << Basename(file) << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (!enabled_) return;
+  const std::string line = stream_.str();
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (g_sink) {
+    g_sink(level_, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 }  // namespace detail

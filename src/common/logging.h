@@ -1,21 +1,47 @@
-// Minimal leveled logger. Thread-safe; writes to stderr.
+// Minimal leveled logger. Thread-safe; writes to stderr by default.
 //
 // Usage:  HWP_LOG(Info) << "trained epoch " << e << " acc=" << acc;
-// The global level defaults to Info and can be raised to silence output
-// in tests/benchmarks via SetLogLevel(LogLevel::Warning).
+//
+// Each line carries an ISO-8601 UTC timestamp, the level, a dense
+// thread id, and the source location:
+//   [2026-08-07T12:34:56.789Z INFO t1 trainer.cpp:42] trained epoch ...
+//
+// The global level defaults to Info; it can be set programmatically via
+// SetLogLevel or, before the first log statement, via the HWP_LOG_LEVEL
+// environment variable (debug|info|warning|error|off, or 0-4).
+//
+// Output goes through a pluggable sink (SetLogSink) so tests can
+// capture log lines; ResetLogSink restores the stderr sink.
 #pragma once
 
+#include <functional>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace hwp3d {
 
 enum class LogLevel : int { Debug = 0, Info = 1, Warning = 2, Error = 3, Off = 4 };
 
-// Sets the minimum level that is actually emitted.
+// Sets the minimum level that is actually emitted (overrides
+// HWP_LOG_LEVEL from then on).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Parses "debug"/"info"/"warning"/"warn"/"error"/"off" (case-insensitive)
+// or a numeric level; nullopt if unrecognized.
+std::optional<LogLevel> ParseLogLevel(std::string_view text);
+
+// Receives one fully formatted log line (no trailing newline).
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+// Replaces the output sink; the sink is called serialized (never
+// concurrently). Pass nullptr or call ResetLogSink for the default
+// stderr sink.
+void SetLogSink(LogSink sink);
+void ResetLogSink();
 
 namespace detail {
 

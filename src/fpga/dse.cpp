@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hwp3d::fpga {
 
@@ -10,6 +12,8 @@ DseResult ExploreDesignSpace(
     const std::vector<const models::NetworkSpec*>& networks,
     const std::vector<const SpecMasks*>& masks, const FpgaDevice& device,
     const DseOptions& options) {
+  obs::TraceScope span("dse/explore");
+  if (span.active()) span.AddArg("device", device.name);
   HWP_CHECK_MSG(!networks.empty(), "DSE needs at least one network");
   HWP_CHECK_MSG(masks.empty() || masks.size() == networks.size(),
                 "masks must be empty or match networks");
@@ -43,6 +47,10 @@ DseResult ExploreDesignSpace(
             }
             cand.latency_ms =
                 static_cast<double>(cand.cycles) / (options.freq_mhz * 1e3);
+            obs::MetricsRegistry::Get()
+                .GetHistogram("dse.candidate_cycles",
+                              {{"device", device.name}})
+                .Observe(static_cast<double>(cand.cycles));
             result.best.push_back(cand);
           }
 
@@ -52,6 +60,27 @@ DseResult ExploreDesignSpace(
             });
   if (result.best.size() > options.top_k) {
     result.best.resize(options.top_k);
+  }
+
+  auto& reg = obs::MetricsRegistry::Get();
+  const obs::LabelSet labels = {{"device", device.name}};
+  reg.GetCounter("dse.candidates_evaluated", labels)
+      .Add(static_cast<int64_t>(result.evaluated));
+  reg.GetCounter("dse.candidates_infeasible", labels)
+      .Add(static_cast<int64_t>(result.infeasible));
+  reg.GetCounter("dse.candidates_feasible", labels)
+      .Add(static_cast<int64_t>(result.evaluated - result.infeasible));
+  if (!result.best.empty()) {
+    reg.GetGauge("dse.best_cycles", labels)
+        .Set(static_cast<double>(result.best.front().cycles));
+  }
+  if (span.active()) {
+    span.AddArg("evaluated", static_cast<int64_t>(result.evaluated));
+    span.AddArg("infeasible", static_cast<int64_t>(result.infeasible));
+    if (!result.best.empty()) {
+      span.AddArg("best_tiling", result.best.front().tiling.ToString());
+      span.AddArg("best_cycles", result.best.front().cycles);
+    }
   }
   return result;
 }

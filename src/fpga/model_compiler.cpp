@@ -1,6 +1,7 @@
 #include "fpga/model_compiler.h"
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace hwp3d::fpga {
 
@@ -26,6 +27,7 @@ CompiledTinyR2Plus1d::ConvStage CompiledTinyR2Plus1d::MakeStage(
     nn::Conv3d& conv, nn::BatchNorm3d* bn, bool relu,
     const core::BlockMask* mask) const {
   ConvStage stage;
+  stage.name = conv.name();
   stage.weights = Quantize(conv.weight().value);
   stage.stride = conv.config().stride;
   stage.padding = conv.config().padding;
@@ -51,7 +53,8 @@ TensorQ CompiledTinyR2Plus1d::RunStage(const ConvStage& stage,
   post.shortcut = shortcut;
   const TiledConvResult r =
       sim_.Run(stage.weights, padded, stage.stride,
-               stage.mask.has_value() ? &*stage.mask : nullptr, post);
+               stage.mask.has_value() ? &*stage.mask : nullptr, post,
+               stage.name);
   if (stats != nullptr) {
     stats->modeled_cycles += r.stats.modeled_cycles;
     stats->blocks_loaded += r.stats.blocks_loaded;
@@ -116,6 +119,7 @@ CompiledTinyR2Plus1d::CompiledTinyR2Plus1d(models::TinyR2Plus1d& model,
 
 TensorF CompiledTinyR2Plus1d::Infer(const TensorF& clip,
                                     CompiledRunStats* stats) const {
+  HWP_TRACE_SCOPE("compiled/Infer");
   HWP_SHAPE_CHECK_MSG(clip.rank() == 4,
                       "Infer expects a [C][D][H][W] clip, got "
                           << clip.shape().ToString());

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/block_partition.h"
@@ -50,6 +51,7 @@ class CompiledTinyR2Plus1d {
 
  private:
   struct ConvStage {
+    std::string name;                 // conv layer name, labels traces/metrics
     TensorQ weights;                  // [M][N][Kd][Kr][Kc]
     std::array<int64_t, 3> stride;
     std::array<int64_t, 3> padding;

@@ -33,6 +33,40 @@ TileExtents SplitAxis(int64_t extent, int64_t tile) {
 
 }  // namespace
 
+StallBreakdown RowCycleBreakdown(const Ports& ports, int64_t t_wgt,
+                                 int64_t t_in, int64_t t_comp, int64_t t_out,
+                                 int64_t enabled) {
+  StallBreakdown b;
+  if (enabled <= 0) {
+    // Nothing to compute: the post-processing unit still emits the
+    // (bias/BN/shortcut) output tile.
+    b.out = t_out;
+    return b;
+  }
+  if (!ports.double_buffered) {
+    // Serial load -> compute -> store: each phase is charged as-is.
+    b.wgt = t_wgt * enabled;
+    b.in = t_in * enabled;
+    b.comp = t_comp * enabled;
+    b.out = t_out;
+    return b;
+  }
+  // Double buffering (Eq. 23): the overlapped phase costs max(t_wgt,
+  // t_in, t_comp) per block; charge it to the stage that bound it.
+  const int64_t t_l3 = std::max({t_wgt, t_in, t_comp});
+  if (t_comp >= t_wgt && t_comp >= t_in) {
+    b.comp = t_l3 * enabled;
+  } else if (t_wgt >= t_in) {
+    b.wgt = t_l3 * enabled;
+  } else {
+    b.in = t_l3 * enabled;
+  }
+  b.comp += t_comp;  // last block's pipeline drain (Eq. 24)
+  const int64_t inner = t_l3 * enabled + t_comp;
+  if (t_out > inner) b.out = t_out - inner;  // store-bound row
+  return b;
+}
+
 LayerLatency PerfModel::LayerCycles(const models::ConvLayerSpec& l,
                                     const core::BlockMask* mask) const {
   LayerLatency out;
@@ -94,30 +128,19 @@ LayerLatency PerfModel::LayerCycles(const models::ConvLayerSpec& l,
         const int64_t t_in = CeilDiv(t_.Tn * in_d * in_r * in_c, p_.p_in);
         const int64_t t_out = CeilDiv(t_.Tm * td * tr * tc, p_.p_out);
         const int64_t t_comp = k_vol * td * tr * tc;
-        // Double buffering overlaps load with compute (Eq. 23); the
-        // ablation baseline pays them back to back.
-        const int64_t t_l3 = p_.double_buffered
-                                 ? std::max({out.t_wgt, t_in, t_comp})
-                                 : out.t_wgt + t_in + t_comp;
         last_t_out = t_out;
 
         // Eq. 24/25 per output-block row; block-enable shrinks the inner
-        // trip count row by row.
+        // trip count row by row. RowCycleBreakdown applies Eq. 23's
+        // double-buffer overlap and attributes the cycles to stages.
         int64_t row_cycles = 0;
         for (int64_t bm = 0; bm < blocks_m; ++bm) {
           const int64_t enabled =
               mask != nullptr ? mask->CountEnabledInRow(bm) : blocks_n;
-          if (enabled > 0) {
-            if (p_.double_buffered) {
-              row_cycles += std::max(t_l3 * enabled + t_comp, t_out);
-            } else {
-              row_cycles += t_l3 * enabled + t_out;
-            }
-          } else {
-            // Nothing to compute: the post-processing unit still emits
-            // the (bias/BN/shortcut) output tile.
-            row_cycles += t_out;
-          }
+          const StallBreakdown row =
+              RowCycleBreakdown(p_, out.t_wgt, t_in, t_comp, t_out, enabled);
+          row_cycles += row.total();
+          out.stall.Accumulate(row, multiplicity);
           out.blocks_loaded += multiplicity * enabled;
           out.blocks_skipped += multiplicity * (blocks_n - enabled);
         }
@@ -127,6 +150,7 @@ LayerLatency PerfModel::LayerCycles(const models::ConvLayerSpec& l,
   }
   out.tile_iterations = spatial_tiles * blocks_m;
   out.cycles = cycles + last_t_out;  // final store drain (Eq. 25)
+  out.stall.out += last_t_out;
   return out;
 }
 
@@ -146,6 +170,7 @@ LayerLatency PerfModel::NetworkCycles(
     total.tile_iterations += l.tile_iterations;
     total.blocks_loaded += l.blocks_loaded;
     total.blocks_skipped += l.blocks_skipped;
+    total.stall.Accumulate(l.stall);
   }
   return total;
 }

@@ -25,6 +25,34 @@
 
 namespace hwp3d::fpga {
 
+// Stall attribution: every cycle of a layer/run is charged to the
+// pipeline stage that bound it — the weight load, input load, or MAC
+// array (whichever wins Eq. 23's max; ties prefer compute, then
+// weights, then input), or the output store when Eq. 24's t_out term or
+// the final drain dominates. Invariant: total() equals the modeled
+// cycle count, so memory- vs compute-bound layers are directly visible.
+struct StallBreakdown {
+  int64_t wgt = 0;   // cycles bound by the weight-load port
+  int64_t in = 0;    // cycles bound by the input-load port
+  int64_t comp = 0;  // cycles bound by the MAC array
+  int64_t out = 0;   // cycles bound by the output store / drain
+  int64_t total() const { return wgt + in + comp + out; }
+  void Accumulate(const StallBreakdown& o, int64_t multiplicity = 1) {
+    wgt += o.wgt * multiplicity;
+    in += o.in * multiplicity;
+    comp += o.comp * multiplicity;
+    out += o.out * multiplicity;
+  }
+};
+
+// Cycle cost and attribution of ONE output-block row (Eq. 24) whose
+// block-enable row keeps `enabled` input blocks. Shared by
+// PerfModel::LayerCycles and TiledConvSim::Run so the analytic model
+// and the functional simulator account cycles identically.
+StallBreakdown RowCycleBreakdown(const Ports& ports, int64_t t_wgt,
+                                 int64_t t_in, int64_t t_comp, int64_t t_out,
+                                 int64_t enabled);
+
 struct LayerLatency {
   int64_t cycles = 0;
   int64_t t_wgt = 0, t_in = 0, t_out = 0, t_comp = 0, t_L3 = 0;
@@ -32,6 +60,7 @@ struct LayerLatency {
   int64_t tile_iterations = 0;   // (d,r,c,m) tile count
   int64_t blocks_loaded = 0;     // weight blocks actually loaded
   int64_t blocks_skipped = 0;    // pruned blocks skipped by block-enable
+  StallBreakdown stall;          // sums to `cycles`
   double MsAt(double freq_mhz) const {
     return static_cast<double>(cycles) / (freq_mhz * 1e3);
   }

@@ -2,6 +2,8 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hwp3d::fpga {
 
@@ -24,12 +26,18 @@ NetworkPerfReport NetworkScheduler::Evaluate(const models::NetworkSpec& spec,
     HWP_CHECK_MSG(masks->ptrs.size() == spec.layers.size(),
                   "mask list does not match spec layers");
   }
+  obs::TraceScope span("sched/evaluate");
+  if (span.active()) span.SetName("sched/" + spec.name);
   NetworkPerfReport r;
   r.network = spec.name;
   r.design = StrFormat("%s %s", device_.name.c_str(),
                        tiling_.ToString().c_str());
   r.freq_mhz = freq_mhz_;
 
+  auto& reg = obs::MetricsRegistry::Get();
+  const obs::LabelSet net_labels = {{"network", spec.name}};
+  auto& layer_cycles =
+      reg.GetHistogram("sched.layer_cycles", net_labels);
   PerfModel pm(tiling_, ports_);
   for (size_t i = 0; i < spec.layers.size(); ++i) {
     const core::BlockMask* mask = masks != nullptr ? masks->ptrs[i] : nullptr;
@@ -41,10 +49,21 @@ NetworkPerfReport NetworkScheduler::Evaluate(const models::NetworkSpec& spec,
     lb.ms = lat.MsAt(freq_mhz_);
     lb.blocks_loaded = lat.blocks_loaded;
     lb.blocks_skipped = lat.blocks_skipped;
+    lb.stall = lat.stall;
     r.layers.push_back(lb);
     r.total_cycles += lat.cycles;
+    layer_cycles.Observe(static_cast<double>(lat.cycles));
+    reg.GetCounter("sched.blocks_loaded", net_labels).Add(lat.blocks_loaded);
+    reg.GetCounter("sched.blocks_skipped", net_labels)
+        .Add(lat.blocks_skipped);
   }
   r.latency_ms = static_cast<double>(r.total_cycles) / (freq_mhz_ * 1e3);
+  reg.GetCounter("sched.evaluations", net_labels).Add(1);
+  if (span.active()) {
+    span.AddArg("design", r.design);
+    span.AddArg("total_cycles", r.total_cycles);
+    span.AddArg("latency_ms", r.latency_ms);
+  }
 
   if (ops_counted > 0.0) {
     r.ops_counted = ops_counted;

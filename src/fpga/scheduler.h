@@ -21,6 +21,7 @@ struct LayerBreakdown {
   double ms = 0.0;
   int64_t blocks_loaded = 0;
   int64_t blocks_skipped = 0;
+  StallBreakdown stall;  // which stage bound this layer's cycles
 };
 
 struct NetworkPerfReport {

@@ -1,9 +1,12 @@
 #include "fpga/tiled_conv_sim.h"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/shape.h"
 
 namespace hwp3d::fpga {
@@ -20,7 +23,12 @@ int64_t OutExtent(int64_t in, int64_t k, int64_t s) {
 TiledConvResult TiledConvSim::Run(const TensorQ& weights, const TensorQ& input,
                                   std::array<int64_t, 3> stride,
                                   const core::BlockMask* mask,
-                                  const PostOps& post) const {
+                                  const PostOps& post,
+                                  std::string_view label) const {
+  obs::TraceScope span("sim/conv");
+  if (span.active() && !label.empty()) {
+    span.SetName("sim/" + std::string(label));
+  }
   HWP_SHAPE_CHECK_MSG(weights.rank() == 5, "weights must be rank-5");
   HWP_SHAPE_CHECK_MSG(input.rank() == 4, "input must be rank-4 [N][D][R][C]");
   const int64_t M = weights.dim(0), N = weights.dim(1);
@@ -68,6 +76,13 @@ TiledConvResult TiledConvSim::Run(const TensorQ& weights, const TensorQ& input,
         ((tm * t_.Td + td) * t_.Tr + tr) * t_.Tc + tc)];
   };
 
+  // Per-tile cycle terms shared with PerfModel: the weight-load time
+  // (Eq. 19) is extent-independent; the rest depend on the effective
+  // (possibly partial) tile extents and are computed per spatial tile.
+  const int64_t k_vol = Kd * Kr * Kc;
+  const int64_t t_wgt = CeilDiv(t_.Tm * t_.Tn * k_vol, p_.p_wgt);
+  int64_t last_t_out = 0;
+
   // Outer tile loops over output (d, r, c) and output-channel blocks m —
   // the loop nest of Algorithm 2.
   for (int64_t d0 = 0; d0 < D; d0 += t_.Td) {
@@ -76,10 +91,19 @@ TiledConvResult TiledConvSim::Run(const TensorQ& weights, const TensorQ& input,
       const int64_t tr_n = std::min(t_.Tr, R - r0);
       for (int64_t c0 = 0; c0 < C; c0 += t_.Tc) {
         const int64_t tc_n = std::min(t_.Tc, C - c0);
+        // Effective per-tile latencies (Eqs. 20-22) for this tile.
+        const int64_t in_d = (td_n - 1) * Sd + Kd;
+        const int64_t in_r = (tr_n - 1) * Sr + Kr;
+        const int64_t in_c = (tc_n - 1) * Sc + Kc;
+        const int64_t t_in = CeilDiv(t_.Tn * in_d * in_r * in_c, p_.p_in);
+        const int64_t t_out = CeilDiv(t_.Tm * td_n * tr_n * tc_n, p_.p_out);
+        const int64_t t_comp = k_vol * td_n * tr_n * tc_n;
+        last_t_out = t_out;
         for (int64_t bm = 0; bm < blocks_m; ++bm) {
           const int64_t m0 = bm * t_.Tm;
           const int64_t tm_n = std::min(t_.Tm, M - m0);
           ++result.stats.tile_iterations;
+          int64_t row_enabled = 0;
           for (auto& acc : o_buf) acc.Reset();
 
           for (int64_t bn = 0; bn < blocks_n; ++bn) {
@@ -89,6 +113,7 @@ TiledConvResult TiledConvSim::Run(const TensorQ& weights, const TensorQ& input,
               continue;
             }
             ++result.stats.blocks_loaded;
+            ++row_enabled;
             const int64_t n0 = bn * t_.Tn;
             const int64_t tn_n = std::min(t_.Tn, N - n0);
 
@@ -117,6 +142,11 @@ TiledConvResult TiledConvSim::Run(const TensorQ& weights, const TensorQ& input,
                   }
           }
 
+          // Cycle accounting for this output-block row, mirroring the
+          // analytic model (Eq. 24 via RowCycleBreakdown).
+          result.stats.stall.Accumulate(
+              RowCycleBreakdown(p_, t_wgt, t_in, t_comp, t_out, row_enabled));
+
           // Post-processing unit: affine -> shortcut -> ReLU, then store.
           for (int64_t tm = 0; tm < tm_n; ++tm) {
             const int64_t m = m0 + tm;
@@ -141,6 +171,9 @@ TiledConvResult TiledConvSim::Run(const TensorQ& weights, const TensorQ& input,
     }
   }
 
+  // Final store drain (Eq. 25), charged to the output stage.
+  result.stats.stall.out += last_t_out;
+
   // Cross-check cycles with the analytic model on an equivalent layer.
   models::ConvLayerSpec spec;
   spec.M = M;
@@ -156,6 +189,33 @@ TiledConvResult TiledConvSim::Run(const TensorQ& weights, const TensorQ& input,
   spec.C = C;
   PerfModel pm(t_, p_);
   result.stats.modeled_cycles = pm.LayerCycles(spec, mask).cycles;
+
+  // Observability: one span + per-layer counters per Run (outside the
+  // hot loops, so the disabled-tracing cost is a single atomic load).
+  const TiledConvStats& s = result.stats;
+  if (span.active()) {
+    if (!label.empty()) span.AddArg("layer", std::string(label));
+    span.AddArg("macs", s.macs_executed);
+    span.AddArg("blocks_loaded", s.blocks_loaded);
+    span.AddArg("blocks_skipped", s.blocks_skipped);
+    span.AddArg("modeled_cycles", s.modeled_cycles);
+    span.AddArg("stall_wgt", s.stall.wgt);
+    span.AddArg("stall_in", s.stall.in);
+    span.AddArg("stall_comp", s.stall.comp);
+    span.AddArg("stall_out", s.stall.out);
+  }
+  auto& reg = obs::MetricsRegistry::Get();
+  obs::LabelSet labels;
+  if (!label.empty()) labels = {{"layer", std::string(label)}};
+  reg.GetCounter("sim.runs", labels).Add(1);
+  reg.GetCounter("sim.macs_executed", labels).Add(s.macs_executed);
+  reg.GetCounter("sim.blocks_loaded", labels).Add(s.blocks_loaded);
+  reg.GetCounter("sim.blocks_skipped", labels).Add(s.blocks_skipped);
+  reg.GetCounter("sim.modeled_cycles", labels).Add(s.modeled_cycles);
+  reg.GetCounter("sim.stall.wgt_cycles", labels).Add(s.stall.wgt);
+  reg.GetCounter("sim.stall.in_cycles", labels).Add(s.stall.in);
+  reg.GetCounter("sim.stall.comp_cycles", labels).Add(s.stall.comp);
+  reg.GetCounter("sim.stall.out_cycles", labels).Add(s.stall.out);
   return result;
 }
 

@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string_view>
 
 #include "core/block_partition.h"
 #include "fixed/quantize.h"
@@ -41,6 +42,10 @@ struct TiledConvStats {
   int64_t blocks_skipped = 0;
   int64_t macs_executed = 0;
   int64_t modeled_cycles = 0;  // PerfModel cycles for the same run
+  // Per-stage cycle attribution, accumulated tile row by tile row with
+  // the same accounting as PerfModel (RowCycleBreakdown); stall.total()
+  // equals modeled_cycles.
+  StallBreakdown stall;
 };
 
 struct TiledConvResult {
@@ -54,9 +59,12 @@ class TiledConvSim {
 
   // weights: [M][N][Kd][Kr][Kc]; input: [N][Di][Ri][Ci] (pre-padded).
   // `mask` (optional) must match the ceil(M/Tm) x ceil(N/Tn) grid.
+  // `label` names the layer in traces and metrics (e.g. "conv2a");
+  // empty runs unlabeled.
   TiledConvResult Run(const TensorQ& weights, const TensorQ& input,
                       std::array<int64_t, 3> stride,
-                      const core::BlockMask* mask, const PostOps& post) const;
+                      const core::BlockMask* mask, const PostOps& post,
+                      std::string_view label = {}) const;
 
   const Tiling& tiling() const { return t_; }
 

@@ -1,14 +1,19 @@
 #include "nn/trainer.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace hwp3d::nn {
 
 EpochStats TrainEpoch(Module& model, Sgd& opt,
                       const std::vector<Batch>& batches,
                       const TrainOptions& options) {
+  HWP_TRACE_SCOPE("nn/TrainEpoch");
   EpochStats stats;
   double loss_sum = 0.0;
   int64_t correct = 0;
   for (const Batch& batch : batches) {
+    HWP_TRACE_SCOPE("nn/batch");
     opt.ZeroGrad();
     model.ZeroGrad();
     const TensorF logits = model.Forward(batch.clips, /*train=*/true);
@@ -28,10 +33,18 @@ EpochStats TrainEpoch(Module& model, Sgd& opt,
     stats.mean_loss = static_cast<float>(loss_sum / stats.samples);
     stats.accuracy = static_cast<double>(correct) / stats.samples;
   }
+  auto& reg = obs::MetricsRegistry::Get();
+  reg.GetCounter("train.epochs").Add(1);
+  reg.GetCounter("train.samples").Add(stats.samples);
+  reg.GetGauge("train.loss").Set(stats.mean_loss);
+  reg.GetGauge("train.accuracy").Set(stats.accuracy);
+  obs::Tracer::Get().Counter("train.loss", stats.mean_loss);
+  obs::Tracer::Get().Counter("train.accuracy", stats.accuracy);
   return stats;
 }
 
 EpochStats Evaluate(Module& model, const std::vector<Batch>& batches) {
+  HWP_TRACE_SCOPE("nn/Evaluate");
   EpochStats stats;
   double loss_sum = 0.0;
   int64_t correct = 0;
@@ -47,6 +60,11 @@ EpochStats Evaluate(Module& model, const std::vector<Batch>& batches) {
     stats.mean_loss = static_cast<float>(loss_sum / stats.samples);
     stats.accuracy = static_cast<double>(correct) / stats.samples;
   }
+  auto& reg = obs::MetricsRegistry::Get();
+  reg.GetCounter("eval.runs").Add(1);
+  reg.GetCounter("eval.samples").Add(stats.samples);
+  reg.GetGauge("eval.loss").Set(stats.mean_loss);
+  reg.GetGauge("eval.accuracy").Set(stats.accuracy);
   return stats;
 }
 

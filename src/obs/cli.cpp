@@ -1,0 +1,76 @@
+#include "obs/cli.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hwp3d::obs {
+
+namespace {
+
+// Matches "--flag value" and "--flag=value"; advances `i` past consumed
+// arguments and stores the value. Returns false if `arg` is not `flag`.
+bool MatchFlag(const char* flag, int argc, char** argv, int& i,
+               std::string& value) {
+  const char* arg = argv[i];
+  const size_t flag_len = std::strlen(flag);
+  if (std::strncmp(arg, flag, flag_len) != 0) return false;
+  if (arg[flag_len] == '=') {
+    value = arg + flag_len + 1;
+    return true;
+  }
+  if (arg[flag_len] == '\0' && i + 1 < argc) {
+    value = argv[++i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CliOptions InitFromArgs(int& argc, char** argv) {
+  CliOptions options;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (MatchFlag("--trace-out", argc, argv, i, options.trace_out) ||
+        MatchFlag("--metrics-out", argc, argv, i, options.metrics_out)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--trace-out") == 0 ||
+        std::strcmp(argv[i], "--metrics-out") == 0) {
+      std::fprintf(stderr, "warning: %s requires a value; ignored\n",
+                   argv[i]);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  if (!options.trace_out.empty()) Tracer::Get().SetEnabled(true);
+  return options;
+}
+
+void Finalize(const CliOptions& options) {
+  if (!options.trace_out.empty()) {
+    if (Tracer::Get().WriteChromeJson(options.trace_out)) {
+      std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                   Tracer::Get().event_count(), options.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   options.trace_out.c_str());
+    }
+  }
+  if (!options.metrics_out.empty()) {
+    if (MetricsRegistry::Get().WriteJsonl(options.metrics_out)) {
+      std::fprintf(stderr, "wrote metrics JSONL to %s\n",
+                   options.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   options.metrics_out.c_str());
+    }
+    MetricsRegistry::Get().SummaryTable().Print();
+  }
+}
+
+}  // namespace hwp3d::obs

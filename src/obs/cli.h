@@ -1,0 +1,30 @@
+// Command-line glue shared by the examples: `--trace-out <file>` and
+// `--metrics-out <file>` flags that enable tracing / arrange metric
+// export without each binary re-implementing flag parsing.
+//
+//   int main(int argc, char** argv) {
+//     const obs::CliOptions obs_opts = obs::InitFromArgs(argc, argv);
+//     ...                                  // obs flags removed from argv
+//     obs::Finalize(obs_opts);             // writes the requested files
+//   }
+#pragma once
+
+#include <string>
+
+namespace hwp3d::obs {
+
+struct CliOptions {
+  std::string trace_out;    // Chrome trace-event JSON path ("" = off)
+  std::string metrics_out;  // metrics JSONL path ("" = off)
+};
+
+// Extracts `--trace-out F` / `--metrics-out F` (also `--flag=F`) from
+// argv, compacting the remaining arguments and updating argc. Enables
+// the tracer when --trace-out is present.
+CliOptions InitFromArgs(int& argc, char** argv);
+
+// Writes the requested trace/metrics files and prints the metrics
+// summary table when --metrics-out was given.
+void Finalize(const CliOptions& options);
+
+}  // namespace hwp3d::obs

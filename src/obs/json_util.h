@@ -1,0 +1,13 @@
+// JSON string escaping shared by the trace and metrics exporters.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hwp3d::obs {
+
+// Escapes `s` for inclusion inside a JSON string literal (no quotes
+// added): ", \, and control characters are encoded per RFC 8259.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace hwp3d::obs

@@ -1,0 +1,137 @@
+// Metrics registry: named counters, gauges, and histograms with optional
+// labels, aggregated process-wide and exportable as JSONL or a
+// report::Table summary.
+//
+//   auto& skipped = obs::MetricsRegistry::Get().GetCounter(
+//       "sim.blocks_skipped", {{"layer", "conv2a"}});
+//   skipped.Add(n);   // lock-free after the first lookup
+//
+// Look metrics up once (outside hot loops) and hold the reference —
+// references are stable for the registry's lifetime. The registry is
+// always on; its cost is the instrument sites' atomics.
+//
+// Export:
+//   obs::MetricsRegistry::Get().WriteJsonl("metrics.jsonl");
+//   obs::MetricsRegistry::Get().SummaryTable().Print();
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "report/table.h"
+
+namespace hwp3d::obs {
+
+// Label key/value pairs; canonicalized (sorted by key) on lookup.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  struct Stats {
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean() const { return count > 0 ? sum / count : 0.0; }
+  };
+  // Power-of-two buckets over non-negative values: bucket k counts
+  // observations with 2^(k-1) < v <= 2^k (bucket 0: v <= 1).
+  static constexpr int kBuckets = 64;
+
+  void Observe(double v);
+  Stats stats() const;
+  std::vector<int64_t> buckets() const;  // size kBuckets
+
+ private:
+  mutable std::mutex mu_;
+  Stats stats_;
+  int64_t buckets_[kBuckets] = {};
+};
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+// Read-only view of one metric, for export and tests.
+struct MetricSnapshot {
+  std::string name;
+  LabelSet labels;
+  MetricKind kind = MetricKind::Counter;
+  int64_t counter_value = 0;        // Counter
+  double gauge_value = 0.0;         // Gauge
+  Histogram::Stats histogram;       // Histogram
+  std::vector<int64_t> buckets;     // Histogram (non-empty buckets only
+                                    // appear in the JSONL export)
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  // Returns the metric registered under (name, labels), creating it on
+  // first use. Throws if the name+labels is already registered as a
+  // different kind.
+  Counter& GetCounter(std::string_view name, LabelSet labels = {});
+  Gauge& GetGauge(std::string_view name, LabelSet labels = {});
+  Histogram& GetHistogram(std::string_view name, LabelSet labels = {});
+
+  // Sums a counter across all label sets sharing `name`.
+  int64_t CounterTotal(std::string_view name) const;
+
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  // One JSON object per line, e.g.
+  //   {"type":"counter","name":"sim.blocks_skipped",
+  //    "labels":{"layer":"conv2a"},"value":128}
+  std::string ToJsonl() const;
+  bool WriteJsonl(const std::string& path) const;
+
+  // End-of-run summary rendered through report::Table.
+  report::Table SummaryTable() const;
+
+  // Drops every registered metric (invalidates references; tests only).
+  void Reset();
+
+ private:
+  struct Entry {
+    std::string name;
+    LabelSet labels;
+    MetricKind kind;
+    Counter counter;
+    Gauge gauge;
+    Histogram histogram;
+  };
+
+  Entry& Lookup(std::string_view name, LabelSet labels, MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;               // stable addresses
+  std::map<std::string, Entry*> by_key_;    // canonical key -> entry
+};
+
+}  // namespace hwp3d::obs

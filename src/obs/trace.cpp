@@ -1,0 +1,174 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/strings.h"
+#include "obs/json_util.h"
+
+namespace hwp3d::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point ProcessOrigin() {
+  static const auto origin = std::chrono::steady_clock::now();
+  return origin;
+}
+
+void AppendNumber(std::ostringstream& os, double v) {
+  // Integral values print without a fraction; everything else keeps
+  // enough digits for round-tripping microsecond timestamps.
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    os << static_cast<int64_t>(v);
+  } else {
+    os << StrFormat("%.3f", v);
+  }
+}
+
+void AppendEvent(std::ostringstream& os, const TraceEvent& e) {
+  os << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\"hwp3d\""
+     << ",\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << e.tid
+     << ",\"ts\":";
+  AppendNumber(os, e.ts_us);
+  if (e.phase == 'X') {
+    os << ",\"dur\":";
+    AppendNumber(os, e.dur_us);
+  }
+  if (!e.args.empty()) {
+    os << ",\"args\":{";
+    for (size_t i = 0; i < e.args.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\"" << JsonEscape(e.args[i].key) << "\":";
+      if (e.args[i].is_number) {
+        os << e.args[i].value;
+      } else {
+        os << "\"" << JsonEscape(e.args[i].value) << "\"";
+      }
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+double NowUs() {
+  const auto dt = std::chrono::steady_clock::now() - ProcessOrigin();
+  return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+Tracer::Tracer() {
+  ProcessOrigin();  // pin the time origin no later than first access
+  const char* env = std::getenv("HWP_TRACE");
+  if (env != nullptr && env[0] != '\0' &&
+      !(env[0] == '0' && env[1] == '\0')) {
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+}
+
+Tracer& Tracer::Get() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::Counter(std::string name, double value) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.phase = 'C';
+  e.ts_us = NowUs();
+  e.tid = CurrentThreadId();
+  e.args.push_back({"value", StrFormat("%g", value), /*is_number=*/true});
+  Record(std::move(e));
+}
+
+void Tracer::Instant(std::string name) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.phase = 'i';
+  e.ts_us = NowUs();
+  e.tid = CurrentThreadId();
+  Record(std::move(e));
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < events_.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\n";
+      AppendEvent(os, events_[i]);
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool Tracer::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ToChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+void TraceScope::AddArg(const char* key, int64_t value) {
+  if (active_) {
+    args_.push_back({key, StrFormat("%lld", static_cast<long long>(value)),
+                     /*is_number=*/true});
+  }
+}
+
+void TraceScope::AddArg(const char* key, double value) {
+  if (active_) args_.push_back({key, StrFormat("%g", value), true});
+}
+
+void TraceScope::Finish() noexcept {
+  try {
+    TraceEvent e;
+    e.name = dynamic_name_.empty() ? std::string(name_)
+                                   : std::move(dynamic_name_);
+    e.phase = 'X';
+    e.ts_us = start_us_;
+    e.dur_us = NowUs() - start_us_;
+    e.tid = CurrentThreadId();
+    e.args = std::move(args_);
+    Tracer::Get().Record(std::move(e));
+  } catch (...) {
+    // Tracing must never take the process down.
+  }
+}
+
+}  // namespace hwp3d::obs

@@ -1,0 +1,135 @@
+// Scoped tracing profiler.
+//
+// RAII spans record wall-clock intervals into a process-global event
+// buffer and export them as Chrome trace-event JSON, viewable in
+// chrome://tracing or https://ui.perfetto.dev. Tracing is off by default
+// and costs one relaxed atomic load per span when disabled — no clock
+// read, no allocation. Enable at runtime with
+// `Tracer::Get().SetEnabled(true)` or by setting the HWP_TRACE
+// environment variable (any non-empty value other than "0").
+//
+// Usage:
+//   void TiledConvSim::Run(...) {
+//     HWP_TRACE_SCOPE("sim/run");          // span covers the function
+//     ...
+//   }
+//
+//   obs::TraceScope span("sched/evaluate");  // named object for args
+//   if (span.active()) span.SetName("sched/" + spec.name);
+//   span.AddArg("cycles", total_cycles);     // no-op when disabled
+//
+// Export:
+//   obs::Tracer::Get().WriteChromeJson("trace.json");
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hwp3d::obs {
+
+// Microseconds since process start (steady clock).
+double NowUs();
+
+// Small dense id for the calling thread (stable for its lifetime).
+uint32_t CurrentThreadId();
+
+// One span/counter argument. Numeric values are emitted unquoted so
+// Perfetto can aggregate them.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool is_number = false;
+};
+
+struct TraceEvent {
+  std::string name;
+  char phase = 'X';  // 'X' complete span, 'C' counter, 'i' instant
+  double ts_us = 0.0;
+  double dur_us = 0.0;  // spans only
+  uint32_t tid = 0;
+  std::vector<TraceArg> args;
+};
+
+class Tracer {
+ public:
+  // Process-global tracer; reads HWP_TRACE on first access.
+  static Tracer& Get();
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(TraceEvent event);
+  // Counter track (phase 'C'): one series named `name`.
+  void Counter(std::string name, double value);
+  // Zero-duration marker on the calling thread's track.
+  void Instant(std::string name);
+
+  void Clear();
+  size_t event_count() const;
+  std::vector<TraceEvent> Snapshot() const;
+
+  // {"traceEvents":[...]} — the Chrome trace-event format.
+  std::string ToChromeJson() const;
+  bool WriteChromeJson(const std::string& path) const;
+
+ private:
+  Tracer();
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+// RAII span. The disabled path touches no clock and allocates nothing.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) noexcept
+      : active_(Tracer::Get().enabled()), name_(name) {
+    if (active_) start_us_ = NowUs();
+  }
+  ~TraceScope() {
+    if (active_) Finish();
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  bool active() const { return active_; }
+
+  // Replaces the span name (for dynamic names, e.g. per-layer); only
+  // call under `if (span.active())` to keep the disabled path free.
+  void SetName(std::string name) {
+    if (active_) dynamic_name_ = std::move(name);
+  }
+
+  void AddArg(const char* key, const std::string& value) {
+    if (active_) args_.push_back({key, value, /*is_number=*/false});
+  }
+  void AddArg(const char* key, const char* value) {
+    if (active_) args_.push_back({key, value, /*is_number=*/false});
+  }
+  void AddArg(const char* key, int64_t value);
+  void AddArg(const char* key, double value);
+
+ private:
+  void Finish() noexcept;
+
+  bool active_;
+  const char* name_;
+  std::string dynamic_name_;  // empty: use name_
+  double start_us_ = 0.0;
+  std::vector<TraceArg> args_;
+};
+
+}  // namespace hwp3d::obs
+
+#define HWP_TRACE_CONCAT_INNER(a, b) a##b
+#define HWP_TRACE_CONCAT(a, b) HWP_TRACE_CONCAT_INNER(a, b)
+// Span covering the enclosing scope; near-zero cost when tracing is off.
+#define HWP_TRACE_SCOPE(name) \
+  ::hwp3d::obs::TraceScope HWP_TRACE_CONCAT(hwp_trace_scope_, __LINE__)(name)

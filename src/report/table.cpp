@@ -73,11 +73,18 @@ std::string Table::RenderCsv() const {
   auto emit = [&os](const std::vector<std::string>& cells) {
     for (size_t i = 0; i < cells.size(); ++i) {
       if (i > 0) os << ",";
-      // Quote cells containing commas.
-      if (cells[i].find(',') != std::string::npos) {
-        os << '"' << cells[i] << '"';
+      // RFC 4180: cells containing separators, quotes, or line breaks
+      // are quoted, with embedded quotes doubled.
+      const std::string& c = cells[i];
+      if (c.find_first_of(",\"\n\r") != std::string::npos) {
+        os << '"';
+        for (const char ch : c) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
       } else {
-        os << cells[i];
+        os << c;
       }
     }
     os << "\n";

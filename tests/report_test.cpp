@@ -50,6 +50,18 @@ TEST(TableTest, CsvOutput) {
   EXPECT_EQ(csv, "x,y\n1,2\n3,\"4,5\"\n");  // rule omitted, comma quoted
 }
 
+TEST(TableTest, CsvEscapesQuotesAndNewlines) {
+  Table t("E");
+  t.Header({"plain", "quoted"})
+      .Row({"say \"hi\"", "a,b"})
+      .Row({"line1\nline2", "cr\rcell"});
+  const std::string csv = t.RenderCsv();
+  EXPECT_EQ(csv,
+            "plain,quoted\n"
+            "\"say \"\"hi\"\"\",\"a,b\"\n"
+            "\"line1\nline2\",\"cr\rcell\"\n");
+}
+
 TEST(TableTest, Formatters) {
   EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::Num(3.0, 0), "3");

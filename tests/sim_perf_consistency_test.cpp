@@ -53,6 +53,15 @@ TEST_P(ConsistencySweep, SimMatchesPerfModelCounters) {
   EXPECT_EQ(run.stats.blocks_loaded, lat.blocks_loaded);
   EXPECT_EQ(run.stats.blocks_skipped, lat.blocks_skipped);
   EXPECT_EQ(run.stats.modeled_cycles, lat.cycles);
+  // Stall attribution: both sides decompose the same cycle count into
+  // the same weight/input/compute/output stall shares, and the shares
+  // account for every cycle (Eqs. 19-25 leave no unattributed time).
+  EXPECT_EQ(run.stats.stall.wgt, lat.stall.wgt);
+  EXPECT_EQ(run.stats.stall.in, lat.stall.in);
+  EXPECT_EQ(run.stats.stall.comp, lat.stall.comp);
+  EXPECT_EQ(run.stats.stall.out, lat.stall.out);
+  EXPECT_EQ(run.stats.stall.total(), lat.cycles);
+  EXPECT_EQ(lat.stall.total(), lat.cycles);
   // Dense MAC count equals the workload; pruned strictly less.
   const int64_t dense_macs =
       c.M * c.N * c.K * c.K * spec.D * spec.R * spec.C;
@@ -62,6 +71,43 @@ TEST_P(ConsistencySweep, SimMatchesPerfModelCounters) {
     EXPECT_LT(run.stats.macs_executed, dense_macs);
     EXPECT_GT(run.stats.macs_executed, 0);
   }
+}
+
+// The serialized (non-double-buffered) ablation must also keep the
+// stall decomposition exact on both sides.
+TEST(StallAttribution, NonDoubleBufferedSumsToCycles) {
+  Rng rng(7);
+  TensorF wf(Shape{10, 6, 1, 3, 3});
+  FillNormal(wf, rng, 0.0f, 1.0f);
+  const fpga::Tiling tiling{4, 4, 2, 3, 3};
+  core::BlockPartition part(wf.shape(), tiling.block());
+  core::ProjectionResult proj = core::PlanBlockSparse(wf, part, 0.5);
+  TensorF xf(Shape{6, 5, 9, 9});
+  FillUniform(xf, rng, -1.0f, 1.0f);
+
+  fpga::Ports ports;
+  ports.double_buffered = false;
+  fpga::TiledConvSim sim(tiling, ports);
+  const fpga::TiledConvResult run =
+      sim.Run(Quantize(wf), Quantize(xf), {1, 1, 1}, &proj.mask, {});
+
+  models::ConvLayerSpec spec;
+  spec.M = 10;
+  spec.N = 6;
+  spec.Kd = 1;
+  spec.Kr = spec.Kc = 3;
+  spec.Sd = spec.Sr = spec.Sc = 1;
+  spec.D = 5;
+  spec.R = spec.C = 7;
+  fpga::PerfModel pm(tiling, ports);
+  const fpga::LayerLatency lat = pm.LayerCycles(spec, &proj.mask);
+
+  EXPECT_EQ(run.stats.modeled_cycles, lat.cycles);
+  EXPECT_EQ(run.stats.stall.wgt, lat.stall.wgt);
+  EXPECT_EQ(run.stats.stall.in, lat.stall.in);
+  EXPECT_EQ(run.stats.stall.comp, lat.stall.comp);
+  EXPECT_EQ(run.stats.stall.out, lat.stall.out);
+  EXPECT_EQ(run.stats.stall.total(), lat.cycles);
 }
 
 INSTANTIATE_TEST_SUITE_P(

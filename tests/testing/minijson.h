@@ -1,0 +1,199 @@
+// Minimal strict JSON parser for test-side validation of the trace and
+// metrics exporters (the repo has no external JSON dependency). Parses
+// into a tiny DOM; returns nullopt on any syntax error, trailing
+// garbage, or bad escape — good enough to assert "this is valid JSON"
+// and to walk the parsed structure.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hwp3d::testing {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                            // Array
+  std::vector<std::pair<std::string, JsonValue>> members;  // Object
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+namespace minijson_detail {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    SkipWs();
+    JsonValue v;
+    if (!ParseValue(v)) return std::nullopt;
+    SkipWs();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool EatLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue& out) {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"': out.kind = JsonValue::Kind::String;
+                return ParseString(out.str);
+      case 't': out.kind = JsonValue::Kind::Bool;
+                out.bool_value = true;
+                return EatLiteral("true");
+      case 'f': out.kind = JsonValue::Kind::Bool;
+                out.bool_value = false;
+                return EatLiteral("false");
+      case 'n': out.kind = JsonValue::Kind::Null;
+                return EatLiteral("null");
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue& out) {
+    out.kind = JsonValue::Kind::Object;
+    if (!Eat('{')) return false;
+    SkipWs();
+    if (Eat('}')) return true;
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(key)) return false;
+      SkipWs();
+      if (!Eat(':')) return false;
+      SkipWs();
+      JsonValue v;
+      if (!ParseValue(v)) return false;
+      out.members.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (Eat('}')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  bool ParseArray(JsonValue& out) {
+    out.kind = JsonValue::Kind::Array;
+    if (!Eat('[')) return false;
+    SkipWs();
+    if (Eat(']')) return true;
+    while (true) {
+      SkipWs();
+      JsonValue v;
+      if (!ParseValue(v)) return false;
+      out.items.push_back(std::move(v));
+      SkipWs();
+      if (Eat(']')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  bool ParseString(std::string& out) {
+    if (!Eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw ctrl
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // Tests only emit ASCII escapes; reject the rest for strictness.
+          if (code > 0x7f) return false;
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(JsonValue& out) {
+    out.kind = JsonValue::Kind::Number;
+    const size_t start = pos_;
+    if (Eat('-')) {}
+    if (!std::isdigit(static_cast<unsigned char>(
+            pos_ < text_.size() ? text_[pos_] : '\0'))) {
+      return false;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    return end != nullptr && *end == '\0';
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace minijson_detail
+
+inline std::optional<JsonValue> ParseJson(std::string_view text) {
+  return minijson_detail::Parser(text).Parse();
+}
+
+}  // namespace hwp3d::testing
