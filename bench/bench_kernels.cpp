@@ -1,13 +1,29 @@
 // Micro-benchmarks (google-benchmark) of the library's hot kernels:
 // the blockwise projection, block-norm computation, fixed-point
-// quantization, the float training convolution, and the tile simulator
-// dense vs pruned (showing the functional block-skip saving).
+// quantization, the float training convolution under both conv engines,
+// and the tile simulator dense vs pruned (showing the functional
+// block-skip saving).
+//
+// Beyond the google-benchmark suite, main() runs an engine-comparison
+// harness (naive vs gemm training step on a tiny R(2+1)D block) and
+// writes a machine-readable summary to --json-out=PATH
+// (default BENCH_kernels.json): GFLOP/s, speedup, and the gemm engine's
+// pack/compute time split taken from the kernels.gemm.* counters.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "common/rng.h"
 #include "core/projection.h"
 #include "fpga/tiled_conv_sim.h"
+#include "kernels/engine.h"
+#include "kernels/sgemm.h"
+#include "kernels/thread_pool.h"
 #include "nn/conv3d.h"
+#include "nn/r2plus1d_block.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/init.h"
@@ -15,6 +31,18 @@
 using namespace hwp3d;
 
 namespace {
+
+// Restores the previously selected conv engine on scope exit.
+class EngineOverride {
+ public:
+  explicit EngineOverride(kernels::Engine e) : prev_(kernels::CurrentEngine()) {
+    kernels::SetEngine(e);
+  }
+  ~EngineOverride() { kernels::SetEngine(prev_); }
+
+ private:
+  kernels::Engine prev_;
+};
 
 TensorF RandomWeights(const Shape& shape, uint64_t seed) {
   Rng rng(seed);
@@ -53,7 +81,8 @@ void BM_Quantize(benchmark::State& state) {
 }
 BENCHMARK(BM_Quantize);
 
-void BM_Conv3dForward(benchmark::State& state) {
+void RunConv3dForward(benchmark::State& state, kernels::Engine engine) {
+  EngineOverride eo(engine);
   Rng rng(4);
   nn::Conv3dConfig cfg;
   cfg.in_channels = 8;
@@ -66,8 +95,36 @@ void BM_Conv3dForward(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(conv.Forward(x, false));
   }
+  // 2 FLOPs (mul+add) per weight tap per output element.
+  const double flops_per_call = 2.0 * 8 * 8 * 8 * 16 * 16 * 3 * 3 * 3;
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * flops_per_call));
 }
-BENCHMARK(BM_Conv3dForward);
+
+void BM_Conv3dForwardNaive(benchmark::State& state) {
+  RunConv3dForward(state, kernels::Engine::kNaive);
+}
+BENCHMARK(BM_Conv3dForwardNaive);
+
+void BM_Conv3dForwardGemm(benchmark::State& state) {
+  RunConv3dForward(state, kernels::Engine::kGemm);
+}
+BENCHMARK(BM_Conv3dForwardGemm);
+
+void BM_Sgemm(benchmark::State& state) {
+  const int64_t m = 64, n = 1024, k = 288;  // typical im2col shape
+  Rng rng(11);
+  TensorF a(Shape{m, k}), b(Shape{k, n}), c(Shape{m, n});
+  FillUniform(a, rng, -1.0f, 1.0f);
+  FillUniform(b, rng, -1.0f, 1.0f);
+  for (auto _ : state) {
+    kernels::Sgemm(false, false, m, n, k, a.data(), k, b.data(), n, c.data(),
+                   n, /*accumulate=*/false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+BENCHMARK(BM_Sgemm);
 
 void RunTiledSim(benchmark::State& state, double eta) {
   Rng rng(5);
@@ -138,6 +195,167 @@ void BM_MetricsCounterLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsCounterLookup);
 
+// ---------------------------------------------------------------------------
+// Engine-comparison harness: one training step (ZeroGrad + Forward(train) +
+// Backward) of a tiny R(2+1)D residual block under each conv engine.
+
+struct TrainStepSetup {
+  nn::ResidualBlock block;
+  TensorF x;
+  TensorF seed;
+
+  explicit TrainStepSetup(Rng& rng)
+      : block(MakeConfig(), rng, "bench_block"),
+        x(Shape{2, 8, 4, 16, 16}) {
+    FillUniform(x, rng, -1.0f, 1.0f);
+    TensorF y = block.Forward(x, false);
+    seed = TensorF(y.shape());
+    FillUniform(seed, rng, -1.0f, 1.0f);
+  }
+
+  static nn::ResidualBlockConfig MakeConfig() {
+    nn::ResidualBlockConfig cfg;
+    cfg.in_channels = 8;
+    cfg.out_channels = 16;
+    cfg.spatial_stride = 2;
+    cfg.temporal_stride = 2;
+    return cfg;
+  }
+
+  void Step() {
+    block.ZeroGrad();
+    TensorF y = block.Forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+    TensorF dx = block.Backward(seed);
+    benchmark::DoNotOptimize(dx.data());
+  }
+};
+
+// Best-of-reps wall time of one training step under `engine`, in ms.
+// Runs one warmup step, then repetitions until >= 0.3 s has accumulated
+// (at least 3 reps).
+double TimeTrainStepMs(TrainStepSetup& setup, kernels::Engine engine) {
+  EngineOverride eo(engine);
+  setup.Step();  // warmup: touches cold memory, settles the pool
+  double best_ms = 1e300;
+  double total_us = 0.0;
+  int reps = 0;
+  while (reps < 3 || total_us < 300000.0) {
+    const double t0 = obs::NowUs();
+    setup.Step();
+    const double us = obs::NowUs() - t0;
+    total_us += us;
+    best_ms = us / 1000.0 < best_ms ? us / 1000.0 : best_ms;
+    ++reps;
+    if (reps >= 200) break;
+  }
+  return best_ms;
+}
+
+// GFLOP/s of the gemm-engine conv forward from BM_Conv3dForwardGemm's
+// shape, plus the pack/compute split from the kernels.gemm.* counters.
+void RunEngineComparison(const std::string& json_path) {
+  Rng rng(21);
+  TrainStepSetup setup(rng);
+
+  const double naive_ms = TimeTrainStepMs(setup, kernels::Engine::kNaive);
+  const double gemm_ms = TimeTrainStepMs(setup, kernels::Engine::kGemm);
+  const double speedup = naive_ms / gemm_ms;
+
+  // Conv forward throughput (same shape as BM_Conv3dForwardGemm), with
+  // the gemm pack/compute split read as counter deltas around the runs.
+  auto& reg = obs::MetricsRegistry::Get();
+  const int64_t pack_us0 = reg.CounterTotal("kernels.gemm.pack_us");
+  const int64_t comp_us0 = reg.CounterTotal("kernels.gemm.compute_us");
+
+  nn::Conv3dConfig cfg;
+  cfg.in_channels = 8;
+  cfg.out_channels = 8;
+  cfg.kernel = {3, 3, 3};
+  cfg.padding = {1, 1, 1};
+  nn::Conv3d conv(cfg, rng, "bench_conv");
+  TensorF cx(Shape{1, 8, 8, 16, 16});
+  FillUniform(cx, rng, -1.0f, 1.0f);
+  const double conv_flops = 2.0 * 8 * 8 * 8 * 16 * 16 * 3 * 3 * 3;
+
+  double conv_best_us = 1e300;
+  {
+    EngineOverride eo(kernels::Engine::kGemm);
+    for (int r = 0; r < 50; ++r) {
+      const double t0 = obs::NowUs();
+      TensorF y = conv.Forward(cx, false);
+      benchmark::DoNotOptimize(y.data());
+      const double us = obs::NowUs() - t0;
+      conv_best_us = us < conv_best_us ? us : conv_best_us;
+    }
+  }
+  const double conv_gflops = conv_flops / conv_best_us / 1000.0;
+
+  const int64_t pack_us = reg.CounterTotal("kernels.gemm.pack_us") - pack_us0;
+  const int64_t comp_us =
+      reg.CounterTotal("kernels.gemm.compute_us") - comp_us0;
+  const double split_total = static_cast<double>(pack_us + comp_us);
+  const double pack_frac =
+      split_total > 0.0 ? static_cast<double>(pack_us) / split_total : 0.0;
+
+  std::printf("\n-- engine comparison (tiny R(2+1)D residual block) --\n");
+  std::printf("threads:              %d\n", ThreadPool::Get().threads());
+  std::printf("train step naive:     %.2f ms\n", naive_ms);
+  std::printf("train step gemm:      %.2f ms\n", gemm_ms);
+  std::printf("speedup:              %.2fx\n", speedup);
+  std::printf("conv forward (gemm):  %.2f GFLOP/s\n", conv_gflops);
+  std::printf("gemm pack/compute:    %.0f%% / %.0f%%\n", 100.0 * pack_frac,
+              100.0 * (1.0 - pack_frac));
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_kernels: cannot write %s\n",
+                 json_path.c_str());
+    return;
+  }
+  out << "{\n"
+      << "  \"threads\": " << ThreadPool::Get().threads() << ",\n"
+      << "  \"train_step\": {\n"
+      << "    \"config\": \"R(2+1)D residual block 8->16 ch, stride 2, "
+         "input [2,8,4,16,16]\",\n"
+      << "    \"naive_ms\": " << naive_ms << ",\n"
+      << "    \"gemm_ms\": " << gemm_ms << ",\n"
+      << "    \"speedup\": " << speedup << "\n"
+      << "  },\n"
+      << "  \"conv3d_forward\": {\n"
+      << "    \"config\": \"8->8 ch, 3x3x3, pad 1, input [1,8,8,16,16]\",\n"
+      << "    \"gemm_gflops\": " << conv_gflops << "\n"
+      << "  },\n"
+      << "  \"gemm_split\": {\n"
+      << "    \"pack_us\": " << pack_us << ",\n"
+      << "    \"compute_us\": " << comp_us << ",\n"
+      << "    \"pack_fraction\": " << pack_frac << "\n"
+      << "  }\n"
+      << "}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Extract --json-out=PATH before google-benchmark sees the args (it
+  // rejects flags it does not know).
+  std::string json_path = "BENCH_kernels.json";
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_path = argv[i] + 11;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  RunEngineComparison(json_path);
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build the release config and run the kernel benchmarks, writing a
+# machine-readable summary to BENCH_kernels.json in the repo root.
+# Usage: scripts/bench.sh [-j N] [extra bench_kernels args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+if [[ "${1:-}" == "-j" && -n "${2:-}" ]]; then
+  JOBS="$2"
+  shift 2
+fi
+
+echo "==> configure (release)"
+cmake --preset release
+echo "==> build bench_kernels"
+cmake --build --preset release -j "${JOBS}" --target bench_kernels
+
+echo "==> run bench_kernels"
+./build/bench/bench_kernels --json-out=BENCH_kernels.json "$@"
+
+echo "==> wrote BENCH_kernels.json"

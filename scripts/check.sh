@@ -19,4 +19,11 @@ for preset in release sanitize; do
   ctest --preset "${preset}" -j "${JOBS}"
 done
 
+# Hammer the thread-pool tests under the sanitizers: pool bugs are
+# timing-dependent, so repeat until-fail to shake out races. All pool
+# workers are joinable (never detached), so sanitizer runs stay clean.
+echo "==> thread-pool stress (sanitize)"
+ctest --preset sanitize -R 'thread_pool|conv_engine_parity' \
+  --repeat until-fail:3
+
 echo "==> all checks passed"

@@ -1,53 +1,27 @@
-// ParallelFor: static range partitioning over std::thread.
+// ParallelFor: chunked parallel loop over the persistent ThreadPool.
 //
-// Used by the convolution kernels to parallelize over independent output
-// slices. Exceptions thrown by the body are rethrown on the caller thread.
+// Historically this spawned fresh std::threads per call and type-erased
+// the body through a heap-allocating std::function; it is now a thin
+// template (no std::function, no per-call threads) over
+// hwp3d::ThreadPool — see kernels/thread_pool.h for the execution
+// guarantees (exactly-once, exception rethrow on the caller, serial
+// fallback for small ranges / HWP_THREADS=1, serial inline nesting).
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
-#include <exception>
-#include <functional>
-#include <thread>
-#include <vector>
+#include <utility>
+
+#include "kernels/thread_pool.h"
 
 namespace hwp3d {
 
-// Invokes body(i) for i in [begin, end) across up to `threads` workers.
-// Falls back to serial execution for small ranges.
-inline void ParallelFor(int64_t begin, int64_t end,
-                        const std::function<void(int64_t)>& body,
+// Invokes body(i) for i in [begin, end) across the process-wide pool.
+// `threads == 1` forces serial in-order execution; other values are a
+// legacy hint (the pool size is fixed by HWP_THREADS at startup).
+template <typename Body>
+inline void ParallelFor(int64_t begin, int64_t end, Body&& body,
                         int threads = 0) {
-  const int64_t n = end - begin;
-  if (n <= 0) return;
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 4;
-  }
-  const int workers =
-      static_cast<int>(std::min<int64_t>(threads, n));
-  if (workers <= 1) {
-    for (int64_t i = begin; i < end; ++i) body(i);
-    return;
-  }
-  std::vector<std::thread> pool;
-  std::vector<std::exception_ptr> errors(static_cast<size_t>(workers));
-  const int64_t chunk = (n + workers - 1) / workers;
-  for (int w = 0; w < workers; ++w) {
-    const int64_t lo = begin + w * chunk;
-    const int64_t hi = std::min(end, lo + chunk);
-    pool.emplace_back([&, w, lo, hi]() {
-      try {
-        for (int64_t i = lo; i < hi; ++i) body(i);
-      } catch (...) {
-        errors[static_cast<size_t>(w)] = std::current_exception();
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  ThreadPool::Get().For(begin, end, std::forward<Body>(body), threads);
 }
 
 }  // namespace hwp3d

@@ -1,0 +1,56 @@
+#include "kernels/conv3d_gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "kernels/sgemm.h"
+#include "obs/trace.h"
+
+namespace hwp3d::kernels {
+
+void Conv3dForwardGemm(const Conv3dGeom& g, const float* x, const float* w,
+                       const float* bias, float* y) {
+  HWP_TRACE_SCOPE("kernels/conv3d_forward_gemm");
+  const int64_t K = g.cols_rows();
+  const int64_t P = g.cols_cols();
+  thread_local std::vector<float> cols;
+  cols.resize(static_cast<size_t>(K * P));
+  for (int64_t b = 0; b < g.batch; ++b) {
+    Im2col3d(g, x + b * g.in_sample_size(), cols.data());
+    float* yb = y + b * g.out_sample_size();
+    if (bias != nullptr) {
+      // Seed each output row with its bias, then accumulate the GEMM.
+      for (int64_t m = 0; m < g.out_c; ++m) {
+        std::fill(yb + m * P, yb + (m + 1) * P, bias[m]);
+      }
+    }
+    Sgemm(/*trans_a=*/false, /*trans_b=*/false, g.out_c, P, K, w, K,
+          cols.data(), P, yb, P, /*accumulate=*/bias != nullptr);
+  }
+}
+
+void Conv3dBackwardGemm(const Conv3dGeom& g, const float* x, const float* w,
+                        const float* dy, float* dw, float* dx) {
+  HWP_TRACE_SCOPE("kernels/conv3d_backward_gemm");
+  const int64_t K = g.cols_rows();
+  const int64_t P = g.cols_cols();
+  thread_local std::vector<float> cols;
+  thread_local std::vector<float> dcols;
+  cols.resize(static_cast<size_t>(K * P));
+  if (dx != nullptr) dcols.resize(static_cast<size_t>(K * P));
+  for (int64_t b = 0; b < g.batch; ++b) {
+    const float* dyb = dy + b * g.out_sample_size();
+    Im2col3d(g, x + b * g.in_sample_size(), cols.data());
+    // dW[M×K] += dy_b[M×P] · cols_bᵀ[P×K]
+    Sgemm(/*trans_a=*/false, /*trans_b=*/true, g.out_c, K, P, dyb, P,
+          cols.data(), P, dw, K, /*accumulate=*/true);
+    if (dx != nullptr) {
+      // dcols[K×P] = Wᵀ[K×M] · dy_b[M×P], then scatter back to dx_b.
+      Sgemm(/*trans_a=*/true, /*trans_b=*/false, K, P, g.out_c, w, K, dyb, P,
+            dcols.data(), P, /*accumulate=*/false);
+      Col2im3d(g, dcols.data(), dx + b * g.in_sample_size());
+    }
+  }
+}
+
+}  // namespace hwp3d::kernels

@@ -1,0 +1,27 @@
+// GEMM-lowered Conv3d forward/backward (the HWP_CONV_ENGINE=gemm path).
+//
+// Per sample:  forward   y = W·im2col(x)            [M×K]·[K×P]
+//              weight    dW += dy·im2col(x)ᵀ        [M×P]·[P×K]
+//              input     dx = col2im(Wᵀ·dy)         [K×M]·[M×P]
+// with K = N·Kd·Kh·Kw and P = Do·Ho·Wo. The paper's W[M][N][Kd][Kh][Kw]
+// layout flattens to the [M×K] GEMM operand with no repacking, so the
+// same weight tensor feeds the pruning core, the FPGA simulator, and
+// this engine. Parity with the naive reference loops is asserted by
+// tests/conv_engine_parity_test.cpp.
+#pragma once
+
+#include "kernels/im2col.h"
+
+namespace hwp3d::kernels {
+
+// y[B][M][Do][Ho][Wo] = conv(x, w) (+ bias if non-null). Overwrites y.
+void Conv3dForwardGemm(const Conv3dGeom& g, const float* x, const float* w,
+                       const float* bias, float* y);
+
+// Accumulates dw[M][K] (+=) and scatter-adds dx (caller zero-fills dx
+// beforehand) from dy[B][M][Do][Ho][Wo]. Pass dx == nullptr to skip the
+// input-gradient computation.
+void Conv3dBackwardGemm(const Conv3dGeom& g, const float* x, const float* w,
+                        const float* dy, float* dw, float* dx);
+
+}  // namespace hwp3d::kernels

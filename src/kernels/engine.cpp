@@ -1,0 +1,43 @@
+#include "kernels/engine.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "common/logging.h"
+
+namespace hwp3d::kernels {
+namespace {
+
+Engine EngineFromEnv() {
+  if (const char* env = std::getenv("HWP_CONV_ENGINE")) {
+    const std::string v(env);
+    if (v == "naive") return Engine::kNaive;
+    if (v == "gemm") return Engine::kGemm;
+    HWP_LOG(Warning) << "ignoring invalid HWP_CONV_ENGINE value \"" << v
+                     << "\" (want naive|gemm); using gemm";
+  }
+  return Engine::kGemm;
+}
+
+std::atomic<Engine>& Current() {
+  static std::atomic<Engine> engine{EngineFromEnv()};
+  return engine;
+}
+
+}  // namespace
+
+Engine CurrentEngine() {
+  return Current().load(std::memory_order_relaxed);
+}
+
+void SetEngine(Engine engine) {
+  Current().store(engine, std::memory_order_relaxed);
+}
+
+const char* EngineName(Engine engine) {
+  return engine == Engine::kNaive ? "naive" : "gemm";
+}
+
+}  // namespace hwp3d::kernels

@@ -1,0 +1,34 @@
+// Cache-blocked single-precision GEMM.
+//
+// Row-major  C[m×n] (+)= op(A)[m×k] · op(B)[k×n]  with optional
+// transposes, organized BLIS-style: the k dimension is split into KC
+// blocks, op(B) panels (KC×NR) and op(A) panels (MC×KC in MR-row
+// micro-panels) are packed into contiguous, zero-padded scratch so the
+// MR×NR micro-kernel runs branch-free contiguous inner loops the
+// compiler auto-vectorizes. Column micro-panels of one (MC, KC, NC)
+// block are distributed over the persistent ThreadPool; every C tile is
+// written by exactly one task and the KC blocks accumulate in a fixed
+// order, so results are bitwise identical for any thread count.
+#pragma once
+
+#include <cstdint>
+
+namespace hwp3d::kernels {
+
+// Micro-tile: kMR×kNR float accumulators live in registers.
+inline constexpr int64_t kMR = 6;
+inline constexpr int64_t kNR = 16;
+// Cache blocking: the KC×NR B panel targets L1, the MC×KC packed A
+// block L2, the KC×NC packed B block the last-level cache.
+inline constexpr int64_t kMC = 96;   // multiple of kMR
+inline constexpr int64_t kKC = 256;
+inline constexpr int64_t kNC = 1024; // multiple of kNR
+
+// C[m×n] (+)= op(A)[m×k] · op(B)[k×n]; op transposes when trans_* is
+// set. lda/ldb are the leading dimensions of the *stored* (untransposed)
+// matrices. accumulate=false overwrites C, true adds into it.
+void Sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+           const float* a, int64_t lda, const float* b, int64_t ldb,
+           float* c, int64_t ldc, bool accumulate);
+
+}  // namespace hwp3d::kernels

@@ -1,9 +1,39 @@
 #include "nn/conv3d.h"
 
 #include "common/parallel.h"
+#include "kernels/conv3d_gemm.h"
+#include "kernels/engine.h"
+#include "obs/trace.h"
 #include "tensor/init.h"
 
 namespace hwp3d::nn {
+namespace {
+
+kernels::Conv3dGeom MakeGeom(const Conv3dConfig& cfg, const TensorF& x,
+                             int64_t out_d, int64_t out_h, int64_t out_w) {
+  kernels::Conv3dGeom g;
+  g.batch = x.dim(0);
+  g.in_c = cfg.in_channels;
+  g.out_c = cfg.out_channels;
+  g.in_d = x.dim(2);
+  g.in_h = x.dim(3);
+  g.in_w = x.dim(4);
+  g.k_d = cfg.kernel[0];
+  g.k_h = cfg.kernel[1];
+  g.k_w = cfg.kernel[2];
+  g.s_d = cfg.stride[0];
+  g.s_h = cfg.stride[1];
+  g.s_w = cfg.stride[2];
+  g.p_d = cfg.padding[0];
+  g.p_h = cfg.padding[1];
+  g.p_w = cfg.padding[2];
+  g.out_d = out_d;
+  g.out_h = out_h;
+  g.out_w = out_w;
+  return g;
+}
+
+}  // namespace
 
 Conv3d::Conv3d(Conv3dConfig cfg, Rng& rng, std::string name)
     : cfg_(cfg),
@@ -49,34 +79,48 @@ TensorF Conv3d::Forward(const TensorF& x, bool train) {
   const TensorF& bias = bias_.value;
   const bool has_bias = cfg_.bias;
 
-  ParallelFor(0, B * M, [&](int64_t bm) {
-    const int64_t b = bm / M;
-    const int64_t m = bm % M;
-    for (int64_t od = 0; od < Do; ++od) {
-      for (int64_t oh = 0; oh < Ho; ++oh) {
-        for (int64_t ow = 0; ow < Wo; ++ow) {
-          double acc = has_bias ? bias[m] : 0.0;
-          for (int64_t n = 0; n < N; ++n) {
-            for (int64_t kd = 0; kd < Kd; ++kd) {
-              const int64_t id = od * Sd + kd - Pd;
-              if (id < 0 || id >= Di) continue;
-              for (int64_t kh = 0; kh < Kh; ++kh) {
-                const int64_t ih = oh * Sh + kh - Ph;
-                if (ih < 0 || ih >= Hi) continue;
-                for (int64_t kw = 0; kw < Kw; ++kw) {
-                  const int64_t iw = ow * Sw + kw - Pw;
-                  if (iw < 0 || iw >= Wi) continue;
-                  acc += static_cast<double>(w(m, n, kd, kh, kw)) *
-                         x(b, n, id, ih, iw);
+  const kernels::Engine engine = kernels::CurrentEngine();
+  obs::TraceScope span("nn/conv3d_forward");
+  if (span.active()) {
+    span.SetName("nn/" + name_ + "/forward");
+    span.AddArg("engine", kernels::EngineName(engine));
+  }
+
+  if (engine == kernels::Engine::kGemm) {
+    kernels::Conv3dForwardGemm(MakeGeom(cfg_, x, Do, Ho, Wo), x.data(),
+                               w.data(), has_bias ? bias.data() : nullptr,
+                               y.data());
+  } else {
+    // Naive reference: direct 7-deep loop, double accumulation.
+    ParallelFor(0, B * M, [&](int64_t bm) {
+      const int64_t b = bm / M;
+      const int64_t m = bm % M;
+      for (int64_t od = 0; od < Do; ++od) {
+        for (int64_t oh = 0; oh < Ho; ++oh) {
+          for (int64_t ow = 0; ow < Wo; ++ow) {
+            double acc = has_bias ? bias[m] : 0.0;
+            for (int64_t n = 0; n < N; ++n) {
+              for (int64_t kd = 0; kd < Kd; ++kd) {
+                const int64_t id = od * Sd + kd - Pd;
+                if (id < 0 || id >= Di) continue;
+                for (int64_t kh = 0; kh < Kh; ++kh) {
+                  const int64_t ih = oh * Sh + kh - Ph;
+                  if (ih < 0 || ih >= Hi) continue;
+                  for (int64_t kw = 0; kw < Kw; ++kw) {
+                    const int64_t iw = ow * Sw + kw - Pw;
+                    if (iw < 0 || iw >= Wi) continue;
+                    acc += static_cast<double>(w(m, n, kd, kh, kw)) *
+                           x(b, n, id, ih, iw);
+                  }
                 }
               }
             }
+            y(b, m, od, oh, ow) = static_cast<float>(acc);
           }
-          y(b, m, od, oh, ow) = static_cast<float>(acc);
         }
       }
-    }
-  });
+    });
+  }
 
   if (train) cached_input_ = x;
   return y;
@@ -98,72 +142,67 @@ TensorF Conv3d::Backward(const TensorF& dy) {
   TensorF& dw = weight_.grad;
   TensorF dx(x.shape());
 
-  // dW: parallel over output channel m — each m owns a disjoint slice of dW.
-  ParallelFor(0, M, [&](int64_t m) {
-    for (int64_t n = 0; n < N; ++n) {
-      for (int64_t kd = 0; kd < Kd; ++kd) {
-        for (int64_t kh = 0; kh < Kh; ++kh) {
-          for (int64_t kw = 0; kw < Kw; ++kw) {
-            double acc = 0.0;
-            for (int64_t b = 0; b < B; ++b) {
-              for (int64_t od = 0; od < Do; ++od) {
-                const int64_t id = od * Sd + kd - Pd;
-                if (id < 0 || id >= Di) continue;
-                for (int64_t oh = 0; oh < Ho; ++oh) {
-                  const int64_t ih = oh * Sh + kh - Ph;
-                  if (ih < 0 || ih >= Hi) continue;
-                  for (int64_t ow = 0; ow < Wo; ++ow) {
-                    const int64_t iw = ow * Sw + kw - Pw;
-                    if (iw < 0 || iw >= Wi) continue;
-                    acc += static_cast<double>(dy(b, m, od, oh, ow)) *
-                           x(b, n, id, ih, iw);
+  const kernels::Engine engine = kernels::CurrentEngine();
+  obs::TraceScope span("nn/conv3d_backward");
+  if (span.active()) {
+    span.SetName("nn/" + name_ + "/backward");
+    span.AddArg("engine", kernels::EngineName(engine));
+  }
+
+  if (engine == kernels::Engine::kGemm) {
+    kernels::Conv3dBackwardGemm(MakeGeom(cfg_, x, Do, Ho, Wo), x.data(),
+                                w.data(), dy.data(), dw.data(), dx.data());
+  } else {
+    // dW: parallel over output channel m — each m owns a disjoint slice of dW.
+    ParallelFor(0, M, [&](int64_t m) {
+      for (int64_t n = 0; n < N; ++n) {
+        for (int64_t kd = 0; kd < Kd; ++kd) {
+          for (int64_t kh = 0; kh < Kh; ++kh) {
+            for (int64_t kw = 0; kw < Kw; ++kw) {
+              double acc = 0.0;
+              for (int64_t b = 0; b < B; ++b) {
+                for (int64_t od = 0; od < Do; ++od) {
+                  const int64_t id = od * Sd + kd - Pd;
+                  if (id < 0 || id >= Di) continue;
+                  for (int64_t oh = 0; oh < Ho; ++oh) {
+                    const int64_t ih = oh * Sh + kh - Ph;
+                    if (ih < 0 || ih >= Hi) continue;
+                    for (int64_t ow = 0; ow < Wo; ++ow) {
+                      const int64_t iw = ow * Sw + kw - Pw;
+                      if (iw < 0 || iw >= Wi) continue;
+                      acc += static_cast<double>(dy(b, m, od, oh, ow)) *
+                             x(b, n, id, ih, iw);
+                    }
                   }
                 }
               }
+              dw(m, n, kd, kh, kw) += static_cast<float>(acc);
             }
-            dw(m, n, kd, kh, kw) += static_cast<float>(acc);
           }
         }
       }
-    }
-  });
+    });
 
-  if (cfg_.bias) {
-    TensorF& db = bias_.grad;
-    for (int64_t m = 0; m < M; ++m) {
-      double acc = 0.0;
-      for (int64_t b = 0; b < B; ++b) {
+    // dX: parallel over batch — each b owns a disjoint slice of dx.
+    ParallelFor(0, B, [&](int64_t b) {
+      for (int64_t m = 0; m < M; ++m) {
         for (int64_t od = 0; od < Do; ++od) {
           for (int64_t oh = 0; oh < Ho; ++oh) {
             for (int64_t ow = 0; ow < Wo; ++ow) {
-              acc += dy(b, m, od, oh, ow);
-            }
-          }
-        }
-      }
-      db[m] += static_cast<float>(acc);
-    }
-  }
-
-  // dX: parallel over batch — each b owns a disjoint slice of dx.
-  ParallelFor(0, B, [&](int64_t b) {
-    for (int64_t m = 0; m < M; ++m) {
-      for (int64_t od = 0; od < Do; ++od) {
-        for (int64_t oh = 0; oh < Ho; ++oh) {
-          for (int64_t ow = 0; ow < Wo; ++ow) {
-            const float g = dy(b, m, od, oh, ow);
-            if (g == 0.0f) continue;
-            for (int64_t n = 0; n < N; ++n) {
-              for (int64_t kd = 0; kd < Kd; ++kd) {
-                const int64_t id = od * Sd + kd - Pd;
-                if (id < 0 || id >= Di) continue;
-                for (int64_t kh = 0; kh < Kh; ++kh) {
-                  const int64_t ih = oh * Sh + kh - Ph;
-                  if (ih < 0 || ih >= Hi) continue;
-                  for (int64_t kw = 0; kw < Kw; ++kw) {
-                    const int64_t iw = ow * Sw + kw - Pw;
-                    if (iw < 0 || iw >= Wi) continue;
-                    dx(b, n, id, ih, iw) += g * w(m, n, kd, kh, kw);
+              const float g = dy(b, m, od, oh, ow);
+              if (g == 0.0f) continue;
+              for (int64_t n = 0; n < N; ++n) {
+                for (int64_t kd = 0; kd < Kd; ++kd) {
+                  const int64_t id = od * Sd + kd - Pd;
+                  if (id < 0 || id >= Di) continue;
+                  for (int64_t kh = 0; kh < Kh; ++kh) {
+                    const int64_t ih = oh * Sh + kh - Ph;
+                    if (ih < 0 || ih >= Hi) continue;
+                    for (int64_t kw = 0; kw < Kw; ++kw) {
+                      const int64_t iw = ow * Sw + kw - Pw;
+                      if (iw < 0 || iw >= Wi) continue;
+                      dx(b, n, id, ih, iw) += g * w(m, n, kd, kh, kw);
+                    }
                   }
                 }
               }
@@ -171,8 +210,23 @@ TensorF Conv3d::Backward(const TensorF& dy) {
           }
         }
       }
-    }
-  });
+    });
+  }
+
+  if (cfg_.bias) {
+    // Bias gradient: parallel over m — each m reduces its own dy rows.
+    TensorF& db = bias_.grad;
+    const float* dyp = dy.data();
+    const int64_t plane = Do * Ho * Wo;
+    ParallelFor(0, M, [&](int64_t m) {
+      double acc = 0.0;
+      for (int64_t b = 0; b < B; ++b) {
+        const float* row = dyp + (b * M + m) * plane;
+        for (int64_t p = 0; p < plane; ++p) acc += row[p];
+      }
+      db[m] += static_cast<float>(acc);
+    });
+  }
 
   return dx;
 }

@@ -1,5 +1,6 @@
 #include "nn/r2plus1d_block.h"
 
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace hwp3d::nn {
@@ -47,6 +48,7 @@ Conv2Plus1d::Conv2Plus1d(Conv2Plus1dConfig cfg, Rng& rng, std::string name)
 }
 
 TensorF Conv2Plus1d::Forward(const TensorF& x, bool train) {
+  HWP_TRACE_SCOPE("nn/conv2plus1d_forward");
   TensorF h = spatial_->Forward(x, train);
   h = bn_mid_->Forward(h, train);
   h = relu_mid_->Forward(h, train);
@@ -54,6 +56,7 @@ TensorF Conv2Plus1d::Forward(const TensorF& x, bool train) {
 }
 
 TensorF Conv2Plus1d::Backward(const TensorF& dy) {
+  HWP_TRACE_SCOPE("nn/conv2plus1d_backward");
   TensorF g = temporal_->Backward(dy);
   g = relu_mid_->Backward(g);
   g = bn_mid_->Backward(g);
@@ -105,6 +108,7 @@ ResidualBlock::ResidualBlock(ResidualBlockConfig cfg, Rng& rng,
 }
 
 TensorF ResidualBlock::Forward(const TensorF& x, bool train) {
+  HWP_TRACE_SCOPE("nn/residual_block_forward");
   TensorF h = conv1_->Forward(x, train);
   h = bn1_->Forward(h, train);
   h = relu1_->Forward(h, train);
@@ -130,6 +134,7 @@ TensorF ResidualBlock::Forward(const TensorF& x, bool train) {
 }
 
 TensorF ResidualBlock::Backward(const TensorF& dy) {
+  HWP_TRACE_SCOPE("nn/residual_block_backward");
   HWP_CHECK_MSG(!cached_sum_.empty(),
                 name_ << ": Backward before Forward(train=true)");
   // Through the final ReLU.
