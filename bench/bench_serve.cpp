@@ -1,0 +1,207 @@
+// Serving throughput/latency benchmark: a single-replica serial
+// baseline (direct CompiledTinyR2Plus1d::Infer loop) against the
+// batched InferenceServer at increasing replica counts, on the same
+// clips. Writes BENCH_serve.json with throughput, speedup-vs-serial,
+// and p50/p95/p99 end-to-end latency per configuration.
+//
+// Replica scaling rides the process-wide hwp3d::ThreadPool, so size it
+// to the host: bench_serve --threads 4 --replicas 1,2,4. Other flags:
+// --clips N, --max-batch N, --max-delay-us N, --json-out=PATH.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "data/synthetic_video.h"
+#include "fpga/model_compiler.h"
+#include "kernels/thread_pool.h"
+#include "models/tiny_r2plus1d.h"
+#include "nn/trainer.h"
+#include "obs/cli.h"
+#include "obs/trace.h"
+#include "report/table.h"
+#include "serve/server.h"
+
+using namespace hwp3d;
+
+namespace {
+
+struct Row {
+  int replicas = 0;
+  double throughput_cps = 0.0;
+  double speedup = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  double mean_batch = 0.0;
+  long long batches = 0;
+};
+
+std::vector<int> ParseIntList(const char* s) {
+  std::vector<int> out;
+  int value = 0;
+  bool have = false;
+  for (; ; ++s) {
+    if (*s >= '0' && *s <= '9') {
+      value = value * 10 + (*s - '0');
+      have = true;
+    } else {
+      if (have) out.push_back(value);
+      value = 0;
+      have = false;
+      if (*s == '\0') break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::InitFromArgs(argc, argv);
+  SetLogLevel(LogLevel::Warning);
+
+  std::string json_path = "BENCH_serve.json";
+  int num_clips = 64;
+  int max_batch = 8;
+  long long max_delay_us = 500;
+  std::vector<int> replica_counts = {1, 2, 4};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--clips=", 8) == 0) {
+      num_clips = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--max-batch=", 12) == 0) {
+      max_batch = std::atoi(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--max-delay-us=", 15) == 0) {
+      max_delay_us = std::atoll(argv[i] + 15);
+    } else if (std::strncmp(argv[i], "--replicas=", 11) == 0) {
+      replica_counts = ParseIntList(argv[i] + 11);
+    }
+  }
+
+  // Model + compile (same small configuration the serve tests use; one
+  // adaptation epoch so BN statistics are sane).
+  Rng rng(obs_opts.seed.value_or(11));
+  models::TinyR2Plus1dConfig mcfg;
+  mcfg.num_classes = 4;
+  mcfg.stem_channels = 4;
+  mcfg.stage1_channels = 8;
+  mcfg.stage2_channels = 8;
+  models::TinyR2Plus1d model(mcfg, rng);
+  data::SyntheticVideoConfig dcfg;
+  dcfg.num_classes = 4;
+  dcfg.frames = 6;
+  dcfg.height = 10;
+  dcfg.width = 10;
+  data::SyntheticVideoDataset dataset(dcfg);
+  {
+    auto batches = dataset.MakeBatches(8, 8, rng);
+    nn::Sgd opt(model.Params(),
+                {.lr = 0.02f, .momentum = 0.9f, .weight_decay = 0.0f});
+    nn::TrainEpoch(model, opt, batches, {});
+  }
+  fpga::CompiledModelOptions copts;
+  copts.tiling = fpga::Tiling{4, 4, 2, 5, 5};
+  auto compiled = fpga::CompiledTinyR2Plus1d::Compile(model, copts);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "%s\n", compiled.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<TensorF> clips;
+  for (int i = 0; i < num_clips; ++i) {
+    clips.push_back(dataset.MakeSample(i % dcfg.num_classes, rng).clip);
+  }
+
+  // Serial baseline: one replica, no queue, no batching.
+  const double serial_t0 = obs::NowUs();
+  for (const TensorF& clip : clips) (void)compiled->Infer(clip);
+  const double serial_us = obs::NowUs() - serial_t0;
+  const double serial_cps = 1e6 * num_clips / serial_us;
+  const double serial_mean_ms = serial_us / num_clips / 1000.0;
+
+  std::vector<Row> rows;
+  for (int replicas : replica_counts) {
+    serve::ServerConfig cfg;
+    cfg.replicas = replicas;
+    cfg.max_batch = max_batch;
+    cfg.max_delay_us = max_delay_us;
+    cfg.queue_capacity = static_cast<size_t>(num_clips) * 2;
+    serve::InferenceServer server(*compiled, cfg);
+
+    const double t0 = obs::NowUs();
+    std::vector<std::future<StatusOr<serve::InferenceResult>>> futures;
+    futures.reserve(clips.size());
+    for (const TensorF& clip : clips) {
+      futures.push_back(server.SubmitAsync(clip));
+    }
+    int failed = 0;
+    for (auto& f : futures) failed += !f.get().ok();
+    const double wall_us = obs::NowUs() - t0;
+    if (failed != 0) {
+      std::fprintf(stderr, "replicas=%d: %d requests failed\n", replicas,
+                   failed);
+      return 1;
+    }
+    const serve::ServerStats stats = server.Stats();
+    Row row;
+    row.replicas = replicas;
+    row.throughput_cps = 1e6 * num_clips / wall_us;
+    row.speedup = row.throughput_cps / serial_cps;
+    row.p50_ms = stats.p50_ms;
+    row.p95_ms = stats.p95_ms;
+    row.p99_ms = stats.p99_ms;
+    row.mean_batch = stats.mean_batch_size;
+    row.batches = stats.batches;
+    rows.push_back(row);
+  }
+
+  const int threads = ThreadPool::Get().threads();
+  report::Table table("Batched serving vs serial Infer loop");
+  table.Header({"Config", "Clips/s", "Speedup", "p50 ms", "p95 ms",
+                "p99 ms", "Mean batch"});
+  table.Row({"serial x1", report::Table::Num(serial_cps, 1),
+             report::Table::Ratio(1.0, 2),
+             report::Table::Num(serial_mean_ms, 2), "-", "-", "-"});
+  for (const Row& r : rows) {
+    table.Row({"serve x" + std::to_string(r.replicas),
+               report::Table::Num(r.throughput_cps, 1),
+               report::Table::Ratio(r.speedup, 2),
+               report::Table::Num(r.p50_ms, 2),
+               report::Table::Num(r.p95_ms, 2),
+               report::Table::Num(r.p99_ms, 2),
+               report::Table::Num(r.mean_batch, 1)});
+  }
+  table.Print();
+  std::printf("(thread pool: %d threads; batching: max_batch %d, "
+              "max_delay %lld us)\n",
+              threads, max_batch, max_delay_us);
+
+  std::ofstream os(json_path);
+  os << "{\n"
+     << "  \"bench\": \"serve\",\n"
+     << "  \"threads\": " << threads << ",\n"
+     << "  \"clips\": " << num_clips << ",\n"
+     << "  \"max_batch\": " << max_batch << ",\n"
+     << "  \"max_delay_us\": " << max_delay_us << ",\n"
+     << "  \"serial\": {\"throughput_cps\": " << serial_cps
+     << ", \"mean_ms\": " << serial_mean_ms << "},\n"
+     << "  \"configs\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"replicas\": " << r.replicas
+       << ", \"throughput_cps\": " << r.throughput_cps
+       << ", \"speedup_vs_serial\": " << r.speedup
+       << ", \"p50_ms\": " << r.p50_ms << ", \"p95_ms\": " << r.p95_ms
+       << ", \"p99_ms\": " << r.p99_ms
+       << ", \"mean_batch\": " << r.mean_batch
+       << ", \"batches\": " << r.batches << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

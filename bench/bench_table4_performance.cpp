@@ -65,7 +65,7 @@ int main() {
     // C3D, unpruned (the paper's own-board C3D comparison rows). The
     // paper counts C3D work as 1 op/MAC to match [13]'s convention.
     const fpga::NetworkPerfReport rc =
-        sched.Evaluate(c3d, nullptr, c3d.TotalMacs());
+        sched.Evaluate(c3d, nullptr, std::optional<double>(c3d.TotalMacs()));
     table.Row({d.label, "C3D", dev.name, "150", "16-bit fixed",
                report::Table::Num(rc.power_w, 1), Gops(rc.throughput_gops),
                report::Table::Num(rc.power_eff_gops_w, 1),

@@ -1,108 +1,147 @@
-// Domain scenario 2 — deploying the pruned model on the accelerator:
-// trains the tiny R(2+1)D, ADMM-prunes it blockwise, compiles it onto
-// the bit-accurate Q7.8 tile simulator (BN folded into the
-// post-processing unit, residual shortcuts through the shortcut port,
-// block-enable masks attached), and compares
+// Domain scenario 2 — deploying the pruned model on the accelerator,
+// now through the serving facade: one hwp3d::InferenceSession trains
+// the tiny R(2+1)D, ADMM-prunes it blockwise, compiles it onto the
+// bit-accurate Q7.8 tile simulator, and serves it from batched
+// replicas; a second session reloads the same weights from a
+// checkpoint and serves them dense. The comparison
 //
 //   float host model  vs  fixed-point accelerator (dense)
 //                     vs  fixed-point accelerator (block-enable)
 //
-// on held-out clips: prediction agreement, accuracy, and modeled cycles
-// (the functional counterpart of Table IV's 2.6x claim).
+// on held-out clips — prediction agreement, accuracy, modeled cycles
+// (the functional counterpart of Table IV's 2.6x claim) — is unchanged;
+// the plumbing the old example hand-wired now lives behind the facade.
 // Observability: --trace-out trace.json --metrics-out metrics.jsonl
-// emit a Chrome trace (one span per conv layer run) and JSONL metrics
-// whose sim.* counters match the accumulated TiledConvStats exactly.
+// (serve.* counters/histograms join the sim.* ones), --seed N,
+// --threads N.
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/logging.h"
-#include "common/rng.h"
-#include "core/pipeline.h"
-#include "data/synthetic_video.h"
-#include "fpga/model_compiler.h"
-#include "models/tiny_r2plus1d.h"
 #include "obs/cli.h"
 #include "obs/metrics.h"
 #include "report/table.h"
+#include "serve/inference_session.h"
 
 using namespace hwp3d;
 
 int main(int argc, char** argv) {
   const obs::CliOptions obs_opts = obs::InitFromArgs(argc, argv);
   SetLogLevel(LogLevel::Warning);
-  Rng rng(19);
+  const uint64_t seed = obs_opts.seed.value_or(19);
 
   data::SyntheticVideoConfig dcfg;
   dcfg.num_classes = 4;
   dcfg.frames = 6;
   dcfg.height = 10;
   dcfg.width = 10;
-  data::SyntheticVideoDataset dataset(dcfg);
-  const auto train = dataset.MakeBatches(64, 8, rng);
-  const auto test_batches = dataset.MakeBatches(32, 8, rng);
 
-  models::TinyR2Plus1dConfig mcfg;
-  mcfg.num_classes = dcfg.num_classes;
-  mcfg.stem_channels = 4;
-  mcfg.stage1_channels = 8;
-  mcfg.stage2_channels = 8;
-  models::TinyR2Plus1d model(mcfg, rng);
-
-  // Train, then ADMM-prune to 50% block sparsity.
+  // Session 1: train + ADMM-prune to 50% block sparsity, serve with
+  // block-enable masks.
   std::printf("Training + ADMM pruning (a minute or two)...\n");
-  nn::Sgd opt(model.Params(),
-              {.lr = 0.05f, .momentum = 0.9f, .weight_decay = 0.0f});
-  for (int e = 0; e < 10; ++e) nn::TrainEpoch(model, opt, train, {});
-
-  std::vector<core::PruneLayerSpec> specs;
-  for (nn::Conv3d* c : model.PrunableConvs()) {
-    specs.push_back({&c->weight(), {4, 4}, 0.5, c->name()});
+  auto pruned_or = InferenceSession::Builder()
+                       .DataConfig(dcfg)
+                       .Seed(seed)
+                       .TrainEpochs(10)
+                       .TrainLr(0.05f)
+                       .TrainData(64, 8)
+                       .EvalData(32)
+                       .PruneToSparsity(0.5)
+                       .AdmmRhoSchedule({0.01, 0.1})
+                       .AdmmEpochsPerRound(2)
+                       .RetrainEpochs(4)
+                       .Tiling(fpga::Tiling{4, 4, 2, 5, 5})
+                       .Replicas(2)
+                       .MaxBatch(8)
+                       .MaxDelayUs(1000)
+                       .Build();
+  if (!pruned_or.ok()) {
+    std::fprintf(stderr, "pruned session: %s\n",
+                 pruned_or.status().ToString().c_str());
+    return 1;
   }
-  core::AdmmConfig admm_cfg;
-  admm_cfg.rho_schedule = {0.01, 0.1};
-  core::AdmmPruner pruner(specs, admm_cfg);
-  core::PipelineConfig pcfg;
-  pcfg.admm = admm_cfg;
-  pcfg.epochs_per_round = 2;
-  pcfg.retrain_epochs = 4;
-  pcfg.admm_lr = 0.02f;
-  pcfg.retrain_lr = 0.02f;
-  core::RunAdmmPipeline(model, pruner, train, test_batches, pcfg);
+  InferenceSession& pruned = **pruned_or;
 
-  // Compile twice: dense (no block-enable) and with the pruner's masks.
-  fpga::CompiledModelOptions dense_opts;
-  dense_opts.tiling = fpga::Tiling{4, 4, 2, 5, 5};
-  fpga::CompiledTinyR2Plus1d dense(model, dense_opts);
+  // Session 2: identical weights via checkpoint round-trip (exercising
+  // the Status-based save/load path), served dense — no retraining.
+  const char* ckpt = "accelerator_inference.ckpt";
+  if (Status s = pruned.SaveCheckpoint(ckpt); !s.ok()) {
+    std::fprintf(stderr, "checkpoint save: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto dense_or = InferenceSession::Builder()
+                      .DataConfig(dcfg)
+                      .Seed(seed)
+                      .FromCheckpoint(ckpt)
+                      .EvalData(0)
+                      .Tiling(fpga::Tiling{4, 4, 2, 5, 5})
+                      .Replicas(2)
+                      .MaxBatch(8)
+                      .MaxDelayUs(1000)
+                      .Build();
+  if (!dense_or.ok()) {
+    std::fprintf(stderr, "dense session: %s\n",
+                 dense_or.status().ToString().c_str());
+    return 1;
+  }
+  InferenceSession& dense = **dense_or;
 
-  fpga::CompiledModelOptions pruned_opts = dense_opts;
-  pruned_opts.masks = pruner.masks();
-  fpga::CompiledTinyR2Plus1d accel(model, pruned_opts);
-
-  // Evaluate clip by clip.
+  // Evaluate clip by clip on the pruned session's held-out batches.
   int total = 0, float_ok = 0, dense_ok = 0, accel_ok = 0, agree = 0;
-  fpga::CompiledRunStats dense_stats, accel_stats;
-  for (const nn::Batch& batch : test_batches) {
+  long long dense_cycles = 0, accel_cycles = 0;
+  long long dense_loaded = 0, accel_loaded = 0;
+  long long dense_skipped = 0, accel_skipped = 0;
+  long long dense_macs = 0, accel_macs = 0;
+  for (const nn::Batch& batch : pruned.eval_batches()) {
     const int64_t B = batch.clips.dim(0);
-    const TensorF logits = model.Forward(batch.clips, false);
+    // Slice the batch into clips and submit the whole wave
+    // asynchronously, so the servers actually form batches.
+    std::vector<TensorF> clips;
+    std::vector<int> float_preds;
     for (int64_t b = 0; b < B; ++b) {
-      // Slice clip b out of the batch.
       TensorF clip(Shape{dcfg.channels, dcfg.frames, dcfg.height,
                          dcfg.width});
       for (int64_t i = 0; i < clip.numel(); ++i) {
         clip[i] = batch.clips[b * clip.numel() + i];
       }
+      const TensorF float_logits = pruned.HostLogits(clip);
       int float_pred = 0;
-      for (int64_t k = 1; k < logits.dim(1); ++k) {
-        if (logits(b, k) > logits(b, float_pred))
+      for (int64_t k = 1; k < float_logits.numel(); ++k) {
+        if (float_logits[k] > float_logits[float_pred])
           float_pred = static_cast<int>(k);
       }
-      const int dense_pred = dense.Classify(clip, &dense_stats);
-      const int accel_pred = accel.Classify(clip, &accel_stats);
+      float_preds.push_back(float_pred);
+      clips.push_back(std::move(clip));
+    }
+    std::vector<std::future<StatusOr<serve::InferenceResult>>> dense_f,
+        accel_f;
+    for (const TensorF& clip : clips) {
+      dense_f.push_back(dense.SubmitAsync(clip));
+      accel_f.push_back(pruned.SubmitAsync(clip));
+    }
+    for (int64_t b = 0; b < B; ++b) {
+      const auto dense_r = dense_f[static_cast<size_t>(b)].get();
+      const auto accel_r = accel_f[static_cast<size_t>(b)].get();
+      if (!dense_r.ok() || !accel_r.ok()) {
+        std::fprintf(stderr, "submit failed: %s / %s\n",
+                     dense_r.status().ToString().c_str(),
+                     accel_r.status().ToString().c_str());
+        return 1;
+      }
+      dense_cycles += dense_r->stats.modeled_cycles;
+      accel_cycles += accel_r->stats.modeled_cycles;
+      dense_loaded += dense_r->stats.blocks_loaded;
+      accel_loaded += accel_r->stats.blocks_loaded;
+      dense_skipped += dense_r->stats.blocks_skipped;
+      accel_skipped += accel_r->stats.blocks_skipped;
+      dense_macs += dense_r->stats.macs_executed;
+      accel_macs += accel_r->stats.macs_executed;
       const int label = batch.labels[static_cast<size_t>(b)];
       ++total;
-      float_ok += float_pred == label;
-      dense_ok += dense_pred == label;
-      accel_ok += accel_pred == label;
-      agree += accel_pred == float_pred;
+      float_ok += float_preds[static_cast<size_t>(b)] == label;
+      dense_ok += dense_r->label == label;
+      accel_ok += accel_r->label == label;
+      agree += accel_r->label == float_preds[static_cast<size_t>(b)];
     }
   }
 
@@ -114,28 +153,27 @@ int main(int argc, char** argv) {
   table.Row({"accelerator, dense",
              report::Table::Pct((double)dense_ok / total),
              report::Table::Pct(1.0),  // refined below if they diverge
-             report::Table::Int(dense_stats.modeled_cycles / total),
+             report::Table::Int(dense_cycles / total),
              report::Table::Int(0)});
   table.Row({"accelerator, block-enable",
              report::Table::Pct((double)accel_ok / total),
              report::Table::Pct((double)agree / total),
-             report::Table::Int(accel_stats.modeled_cycles / total),
-             report::Table::Int(accel_stats.blocks_skipped / total)});
+             report::Table::Int(accel_cycles / total),
+             report::Table::Int(accel_skipped / total)});
   table.Print();
 
   std::printf(
       "\nblock-enable speedup on modeled cycles: %.2fx (MACs actually "
       "executed: %.2fx fewer)\n",
-      (double)dense_stats.modeled_cycles / accel_stats.modeled_cycles,
-      (double)dense_stats.macs_executed / accel_stats.macs_executed);
+      (double)dense_cycles / accel_cycles,
+      (double)dense_macs / accel_macs);
 
   // The metrics registry was fed by the same TiledConvSim::Run calls
-  // that filled the CompiledRunStats, so the totals must agree exactly.
+  // that filled the per-request CompiledRunStats, so the totals must
+  // agree exactly — even with the runs fanned out across replicas.
   const auto& reg = obs::MetricsRegistry::Get();
-  const long long stats_loaded =
-      dense_stats.blocks_loaded + accel_stats.blocks_loaded;
-  const long long stats_skipped =
-      dense_stats.blocks_skipped + accel_stats.blocks_skipped;
+  const long long stats_loaded = dense_loaded + accel_loaded;
+  const long long stats_skipped = dense_skipped + accel_skipped;
   std::printf(
       "metrics cross-check: sim.blocks_loaded %lld (stats %lld), "
       "sim.blocks_skipped %lld (stats %lld)%s\n",
@@ -146,6 +184,15 @@ int main(int argc, char** argv) {
           ? " [OK]"
           : " [MISMATCH]");
 
+  const serve::ServerStats s = pruned.Stats();
+  std::printf(
+      "serving stats (pruned session): %lld completed in %lld batches "
+      "(mean %.1f clips/batch), latency p50 %.2f ms p95 %.2f ms p99 "
+      "%.2f ms\n",
+      (long long)s.completed, (long long)s.batches, s.mean_batch_size,
+      s.p50_ms, s.p95_ms, s.p99_ms);
+
+  std::remove(ckpt);
   obs::Finalize(obs_opts);
   return 0;
 }

@@ -4,11 +4,11 @@
 // designs on latency / power / efficiency, and show how the paper's
 // pruning targets change the ranking.
 //
-// Usage: design_explorer [zcu102|zc706|vc709|vus440]
+// Usage: design_explorer [--device zcu102|zc706|vc709|vus440]
 //                        [--trace-out trace.json] [--metrics-out m.jsonl]
 #include <cstdio>
-#include <cstring>
 
+#include "fpga/device.h"
 #include "fpga/dse.h"
 #include "fpga/scheduler.h"
 #include "obs/cli.h"
@@ -19,10 +19,13 @@ using namespace hwp3d;
 int main(int argc, char** argv) {
   const obs::CliOptions obs_opts = obs::InitFromArgs(argc, argv);
   fpga::FpgaDevice dev = fpga::Zcu102();
-  if (argc > 1) {
-    if (std::strcmp(argv[1], "zc706") == 0) dev = fpga::Zc706();
-    else if (std::strcmp(argv[1], "vc709") == 0) dev = fpga::Vc709();
-    else if (std::strcmp(argv[1], "vus440") == 0) dev = fpga::Vus440();
+  if (!obs_opts.device.empty()) {
+    StatusOr<fpga::FpgaDevice> named = fpga::DeviceByName(obs_opts.device);
+    if (!named.ok()) {
+      std::fprintf(stderr, "%s\n", named.status().ToString().c_str());
+      return 1;
+    }
+    dev = std::move(named).value();
   }
   std::printf("Target device: %s (%lld DSP, %lld BRAM36)\n\n",
               dev.name.c_str(), (long long)dev.dsp, (long long)dev.bram36);

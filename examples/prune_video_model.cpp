@@ -22,7 +22,7 @@ using namespace hwp3d;
 int main(int argc, char** argv) {
   const obs::CliOptions obs_opts = obs::InitFromArgs(argc, argv);
   SetLogLevel(LogLevel::Warning);
-  Rng rng(7);
+  Rng rng(obs_opts.seed.value_or(7));
 
   data::SyntheticVideoConfig dcfg;
   dcfg.num_classes = 6;

@@ -22,7 +22,7 @@ using namespace hwp3d;
 
 int main(int argc, char** argv) {
   const obs::CliOptions obs_opts = obs::InitFromArgs(argc, argv);
-  Rng rng(42);
+  Rng rng(obs_opts.seed.value_or(42));
 
   // 1. Data: 4 motion classes (right/left/down/up movers) — classes are
   //    indistinguishable in any single frame, so the model must learn

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Build the release config and run the kernel benchmarks, writing a
-# machine-readable summary to BENCH_kernels.json in the repo root.
+# Build the release config and run the kernel + serving benchmarks,
+# writing machine-readable summaries (BENCH_kernels.json,
+# BENCH_serve.json) in the repo root.
 # Usage: scripts/bench.sh [-j N] [extra bench_kernels args...]
 set -euo pipefail
 
@@ -14,10 +15,13 @@ fi
 
 echo "==> configure (release)"
 cmake --preset release
-echo "==> build bench_kernels"
-cmake --build --preset release -j "${JOBS}" --target bench_kernels
+echo "==> build bench_kernels + bench_serve"
+cmake --build --preset release -j "${JOBS}" --target bench_kernels bench_serve
 
 echo "==> run bench_kernels"
 ./build/bench/bench_kernels --json-out=BENCH_kernels.json "$@"
 
-echo "==> wrote BENCH_kernels.json"
+echo "==> run bench_serve"
+./build/bench/bench_serve --threads "${JOBS}" --json-out=BENCH_serve.json
+
+echo "==> wrote BENCH_kernels.json BENCH_serve.json"

@@ -26,4 +26,10 @@ echo "==> thread-pool stress (sanitize)"
 ctest --preset sanitize -R 'thread_pool|conv_engine_parity' \
   --repeat until-fail:3
 
+# Same treatment for the serving layer: the dispatcher thread, the MPMC
+# queue, and the promise hand-off are all lifetime-sensitive, which is
+# exactly what ASan/UBSan catch.
+echo "==> serve stress (sanitize)"
+ctest --preset sanitize -R 'serve' --repeat until-fail:3
+
 echo "==> all checks passed"

@@ -1,6 +1,21 @@
 #include "fpga/device.h"
 
+#include <algorithm>
+#include <cctype>
+
 namespace hwp3d::fpga {
+
+StatusOr<FpgaDevice> DeviceByName(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "zcu102") return Zcu102();
+  if (lower == "zc706") return Zc706();
+  if (lower == "vc709") return Vc709();
+  if (lower == "vus440") return Vus440();
+  return NotFoundError("unknown FPGA device \"" + std::string(name) +
+                       "\" (known: zcu102, zc706, vc709, vus440)");
+}
 
 FpgaDevice Zcu102() {
   FpgaDevice d;

@@ -10,7 +10,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "common/status.h"
 
 namespace hwp3d::fpga {
 
@@ -30,6 +33,10 @@ FpgaDevice Zcu102();
 FpgaDevice Zc706();
 FpgaDevice Vc709();
 FpgaDevice Vus440();
+
+// Catalog lookup by case-insensitive name ("zcu102", "ZC706", ...);
+// kNotFound lists the known devices (used by the --device flag).
+StatusOr<FpgaDevice> DeviceByName(std::string_view name);
 
 // A published implementation row of Table IV (values quoted from the
 // paper; not produced by our models).

@@ -1,6 +1,7 @@
 #include "fpga/model_compiler.h"
 
 #include "common/error.h"
+#include "common/strings.h"
 #include "obs/trace.h"
 
 namespace hwp3d::fpga {
@@ -22,6 +23,41 @@ PostOps FoldBn(nn::BatchNorm3d* bn, bool relu) {
 }
 
 }  // namespace
+
+StatusOr<CompiledTinyR2Plus1d> CompiledTinyR2Plus1d::Compile(
+    models::TinyR2Plus1d& model, CompiledModelOptions options) {
+  const auto prunable = model.PrunableConvs();
+  if (!options.masks.empty() && options.masks.size() != prunable.size()) {
+    return InvalidArgumentError(StrFormat(
+        "mask count %zu does not match the %zu prunable convs of '%s'; "
+        "pass one mask per PrunableConvs() entry or none for dense "
+        "execution",
+        options.masks.size(), prunable.size(), model.name().c_str()));
+  }
+  for (size_t i = 0; i < options.masks.size(); ++i) {
+    core::BlockPartition part(prunable[i]->weight().value.shape(),
+                              options.tiling.block());
+    const core::BlockMask& mask = options.masks[i];
+    if (mask.blocks_m != part.blocks_m() || mask.blocks_n != part.blocks_n()) {
+      return InvalidArgumentError(StrFormat(
+          "%s: mask grid %lldx%lld does not match the %lldx%lld block "
+          "grid induced by tiling %s — re-run pruning with block size "
+          "(Tm=%lld, Tn=%lld) or change the tiling",
+          prunable[i]->name().c_str(), (long long)mask.blocks_m,
+          (long long)mask.blocks_n, (long long)part.blocks_m(),
+          (long long)part.blocks_n(),
+          options.tiling.ToString().c_str(), (long long)options.tiling.Tm,
+          (long long)options.tiling.Tn));
+    }
+  }
+  try {
+    return CompiledTinyR2Plus1d(model, std::move(options));
+  } catch (const Error& e) {
+    // Anything the pre-validation above missed is a library bug, but
+    // surface it as a Status rather than tearing the server down.
+    return InternalError(StrFormat("model compilation failed: %s", e.what()));
+  }
+}
 
 CompiledTinyR2Plus1d::ConvStage CompiledTinyR2Plus1d::MakeStage(
     nn::Conv3d& conv, nn::BatchNorm3d* bn, bool relu,

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/block_partition.h"
 #include "fpga/tiled_conv_sim.h"
 #include "models/tiny_r2plus1d.h"
@@ -36,6 +37,16 @@ struct CompiledRunStats {
 
 class CompiledTinyR2Plus1d {
  public:
+  // Validates `options` against the model (mask count and per-conv
+  // block grids under tiling.block()) and compiles; the preferred entry
+  // point — returns an actionable Status instead of throwing. The
+  // compiled model snapshots weights and BN statistics, so it is
+  // self-contained, copyable (serving replicas copy it, one TiledConvSim
+  // each) and immutable: Infer/Classify are const and safe to call from
+  // many threads concurrently.
+  static StatusOr<CompiledTinyR2Plus1d> Compile(models::TinyR2Plus1d& model,
+                                                CompiledModelOptions options);
+
   // Snapshots the model's weights and (eval-mode) BN statistics; the
   // model must already be trained. Throws if masks are provided but do
   // not match the prunable convs' block grids under tiling.block().

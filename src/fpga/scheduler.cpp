@@ -19,9 +19,9 @@ ResourceUsage NetworkScheduler::Resources(
   return resources_.Estimate(tiling_, networks);
 }
 
-NetworkPerfReport NetworkScheduler::Evaluate(const models::NetworkSpec& spec,
-                                             const SpecMasks* masks,
-                                             double ops_counted) const {
+NetworkPerfReport NetworkScheduler::Evaluate(
+    const models::NetworkSpec& spec, const SpecMasks* masks,
+    std::optional<double> ops_counted) const {
   if (masks != nullptr) {
     HWP_CHECK_MSG(masks->ptrs.size() == spec.layers.size(),
                   "mask list does not match spec layers");
@@ -65,8 +65,8 @@ NetworkPerfReport NetworkScheduler::Evaluate(const models::NetworkSpec& spec,
     span.AddArg("latency_ms", r.latency_ms);
   }
 
-  if (ops_counted > 0.0) {
-    r.ops_counted = ops_counted;
+  if (ops_counted.has_value()) {
+    r.ops_counted = *ops_counted;
   } else if (masks != nullptr) {
     r.ops_counted = 2.0 * masks->kept_macs;  // surviving work only
   } else {

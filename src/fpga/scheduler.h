@@ -3,6 +3,7 @@
 // power, power efficiency, DSP efficiency — plus a per-layer breakdown.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,11 +52,12 @@ class NetworkScheduler {
                    double freq_mhz = 0.0 /* 0: device default */);
 
   // Evaluates one network on this design point. `masks` may be null
-  // (unpruned). `ops_counted` overrides the throughput numerator; pass 0
-  // to use kept-ops (pruned) or total ops (unpruned) automatically.
-  NetworkPerfReport Evaluate(const models::NetworkSpec& spec,
-                             const SpecMasks* masks = nullptr,
-                             double ops_counted = 0.0) const;
+  // (unpruned). `ops_counted` overrides the throughput numerator when
+  // set (an explicit 0.0 credits zero ops); nullopt picks kept-ops
+  // (pruned) or total ops (unpruned) automatically.
+  NetworkPerfReport Evaluate(
+      const models::NetworkSpec& spec, const SpecMasks* masks = nullptr,
+      std::optional<double> ops_counted = std::nullopt) const;
 
   const ResourceModel& resource_model() const { return resources_; }
   const PowerModel& power_model() const { return power_; }

@@ -74,6 +74,12 @@ void TinyC3d::CollectParams(std::vector<nn::Param*>& out) {
   fc_->CollectParams(out);
 }
 
+void TinyC3d::CollectBuffers(std::vector<nn::NamedBuffer>& out) {
+  for (auto& s : stages_) {
+    if (s.bn) s.bn->CollectBuffers(out);
+  }
+}
+
 std::vector<nn::Conv3d*> TinyC3d::Convs() {
   std::vector<nn::Conv3d*> out;
   for (auto& s : stages_) out.push_back(s.conv.get());

@@ -36,6 +36,7 @@ class TinyC3d : public nn::Module {
   TensorF Forward(const TensorF& x, bool train) override;
   TensorF Backward(const TensorF& dy) override;
   void CollectParams(std::vector<nn::Param*>& out) override;
+  void CollectBuffers(std::vector<nn::NamedBuffer>& out) override;
   std::string name() const override { return "tiny_c3d"; }
 
   // All conv layers (for pruning experiments on C3D, which the paper

@@ -62,6 +62,14 @@ void TinyR2Plus1d::CollectParams(std::vector<nn::Param*>& out) {
   fc_->CollectParams(out);
 }
 
+void TinyR2Plus1d::CollectBuffers(std::vector<nn::NamedBuffer>& out) {
+  stem_->CollectBuffers(out);
+  stem_bn_->CollectBuffers(out);
+  stage1_->CollectBuffers(out);
+  stage2_->CollectBuffers(out);
+  fc_->CollectBuffers(out);
+}
+
 std::vector<nn::Conv3d*> TinyR2Plus1d::PrunableConvs() {
   return {
       &stage1_->conv1().spatial(), &stage1_->conv1().temporal(),

@@ -36,6 +36,7 @@ class TinyR2Plus1d : public nn::Module {
   TensorF Forward(const TensorF& x, bool train) override;
   TensorF Backward(const TensorF& dy) override;
   void CollectParams(std::vector<nn::Param*>& out) override;
+  void CollectBuffers(std::vector<nn::NamedBuffer>& out) override;
   std::string name() const override { return "tiny_r2plus1d"; }
 
   // Convolutions targeted by pruning (the two residual stages), i.e. the

@@ -124,6 +124,11 @@ void BatchNorm3d::CollectParams(std::vector<Param*>& out) {
   out.push_back(&beta_);
 }
 
+void BatchNorm3d::CollectBuffers(std::vector<NamedBuffer>& out) {
+  out.push_back({name_ + ".running_mean", &running_mean_});
+  out.push_back({name_ + ".running_var", &running_var_});
+}
+
 void BatchNorm3d::FoldedAffine(TensorF& scale, TensorF& shift) const {
   scale = TensorF(Shape{channels_});
   shift = TensorF(Shape{channels_});

@@ -17,6 +17,7 @@ class BatchNorm3d : public Module {
   TensorF Forward(const TensorF& x, bool train) override;
   TensorF Backward(const TensorF& dy) override;
   void CollectParams(std::vector<Param*>& out) override;
+  void CollectBuffers(std::vector<NamedBuffer>& out) override;
   std::string name() const override { return name_; }
 
   int64_t channels() const { return channels_; }

@@ -4,13 +4,15 @@
 #include <fstream>
 
 #include "common/error.h"
+#include "common/strings.h"
 #include "tensor/serialize.h"
 
 namespace hwp3d::nn {
 namespace {
 
 constexpr char kMagic[4] = {'H', 'W', 'P', 'C'};
-constexpr uint32_t kVersion = 1;
+// v1: params only; v2 appends the inference buffers (BN running stats).
+constexpr uint32_t kVersion = 2;
 
 void WriteString(std::ostream& os, const std::string& s) {
   const uint32_t len = static_cast<uint32_t>(s.size());
@@ -18,22 +20,56 @@ void WriteString(std::ostream& os, const std::string& s) {
   os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-std::string ReadString(std::istream& is) {
+Status ReadString(std::istream& is, const std::string& path,
+                  std::string& out) {
   uint32_t len = 0;
   is.read(reinterpret_cast<char*>(&len), sizeof(len));
-  HWP_CHECK_MSG(static_cast<bool>(is) && len < (1u << 20),
-                "corrupt checkpoint string");
-  std::string s(len, '\0');
-  is.read(s.data(), len);
-  HWP_CHECK_MSG(static_cast<bool>(is), "truncated checkpoint string");
-  return s;
+  if (!is || len >= (1u << 20)) {
+    return DataLossError("corrupt string in checkpoint " + path);
+  }
+  out.assign(len, '\0');
+  is.read(out.data(), len);
+  if (!is) return DataLossError("truncated string in checkpoint " + path);
+  return Status::Ok();
+}
+
+// Reads one named tensor and stores it into `dst` after checking name
+// and shape against the model's expectation.
+Status LoadNamedTensor(std::istream& is, const std::string& path,
+                       const std::string& expected_name, TensorF& dst,
+                       const char* what) {
+  std::string name;
+  HWP_RETURN_IF_ERROR(ReadString(is, path, name));
+  if (name != expected_name) {
+    return InvalidArgumentError(StrFormat(
+        "checkpoint %s '%s' does not match model '%s' (in %s)", what,
+        name.c_str(), expected_name.c_str(), path.c_str()));
+  }
+  TensorF value;
+  try {
+    value = ReadTensor(is);
+  } catch (const Error& e) {
+    return DataLossError(StrFormat("while reading %s '%s' from %s: %s", what,
+                                   expected_name.c_str(), path.c_str(),
+                                   e.what()));
+  }
+  if (!(value.shape() == dst.shape())) {
+    return InvalidArgumentError(StrFormat(
+        "%s '%s': checkpoint shape %s vs model %s", what,
+        expected_name.c_str(), value.shape().ToString().c_str(),
+        dst.shape().ToString().c_str()));
+  }
+  dst = std::move(value);
+  return Status::Ok();
 }
 
 }  // namespace
 
-void SaveCheckpoint(const std::string& path, Module& model) {
+Status SaveCheckpoint(const std::string& path, Module& model) {
   std::ofstream os(path, std::ios::binary);
-  HWP_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  if (!os.is_open()) {
+    return NotFoundError("cannot open " + path + " for writing");
+  }
   os.write(kMagic, 4);
   os.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
   const auto params = model.Params();
@@ -43,37 +79,66 @@ void SaveCheckpoint(const std::string& path, Module& model) {
     WriteString(os, p->name);
     WriteTensor(os, p->value);
   }
-  HWP_CHECK_MSG(static_cast<bool>(os), "checkpoint write failed");
+  const auto buffers = model.Buffers();
+  const uint64_t buffer_count = buffers.size();
+  os.write(reinterpret_cast<const char*>(&buffer_count),
+           sizeof(buffer_count));
+  for (const NamedBuffer& b : buffers) {
+    WriteString(os, b.name);
+    WriteTensor(os, *b.tensor);
+  }
+  if (!os) return DataLossError("checkpoint write failed: " + path);
+  return Status::Ok();
 }
 
-void LoadCheckpoint(const std::string& path, Module& model) {
+Status LoadCheckpoint(const std::string& path, Module& model) {
   std::ifstream is(path, std::ios::binary);
-  HWP_CHECK_MSG(is.is_open(), "cannot open " << path << " for reading");
+  if (!is.is_open()) {
+    return NotFoundError("cannot open checkpoint " + path +
+                         " for reading (no such file?)");
+  }
   char magic[4];
   is.read(magic, 4);
-  HWP_CHECK_MSG(static_cast<bool>(is) && std::memcmp(magic, kMagic, 4) == 0,
-                "bad checkpoint magic in " << path);
+  if (!is || std::memcmp(magic, kMagic, 4) != 0) {
+    return DataLossError("bad checkpoint magic in " + path +
+                         " (not an HWPC file)");
+  }
   uint32_t version = 0;
   is.read(reinterpret_cast<char*>(&version), sizeof(version));
-  HWP_CHECK_MSG(version == kVersion, "unsupported checkpoint version");
+  if (!is || version < 1 || version > kVersion) {
+    return InvalidArgumentError(
+        StrFormat("unsupported checkpoint version %u in %s (this build "
+                  "reads 1..%u)",
+                  version, path.c_str(), kVersion));
+  }
   uint64_t count = 0;
   is.read(reinterpret_cast<char*>(&count), sizeof(count));
   const auto params = model.Params();
-  HWP_CHECK_MSG(count == params.size(),
-                "checkpoint has " << count << " params, model expects "
-                                  << params.size());
-  for (Param* p : params) {
-    const std::string name = ReadString(is);
-    HWP_CHECK_MSG(name == p->name, "checkpoint param '"
-                                       << name << "' does not match model '"
-                                       << p->name << "'");
-    TensorF value = ReadTensor(is);
-    HWP_SHAPE_CHECK_MSG(value.shape() == p->value.shape(),
-                        p->name << ": checkpoint shape "
-                                << value.shape().ToString() << " vs model "
-                                << p->value.shape().ToString());
-    p->value = std::move(value);
+  if (!is || count != params.size()) {
+    return InvalidArgumentError(StrFormat(
+        "checkpoint %s has %llu params, model '%s' expects %zu",
+        path.c_str(), static_cast<unsigned long long>(count),
+        model.name().c_str(), params.size()));
   }
+  for (Param* p : params) {
+    HWP_RETURN_IF_ERROR(LoadNamedTensor(is, path, p->name, p->value,
+                                        "param"));
+  }
+  if (version < 2) return Status::Ok();  // v1: no buffer section
+  uint64_t buffer_count = 0;
+  is.read(reinterpret_cast<char*>(&buffer_count), sizeof(buffer_count));
+  const auto buffers = model.Buffers();
+  if (!is || buffer_count != buffers.size()) {
+    return InvalidArgumentError(StrFormat(
+        "checkpoint %s has %llu buffers, model '%s' expects %zu",
+        path.c_str(), static_cast<unsigned long long>(buffer_count),
+        model.name().c_str(), buffers.size()));
+  }
+  for (const NamedBuffer& b : buffers) {
+    HWP_RETURN_IF_ERROR(LoadNamedTensor(is, path, b.name, *b.tensor,
+                                        "buffer"));
+  }
+  return Status::Ok();
 }
 
 }  // namespace hwp3d::nn

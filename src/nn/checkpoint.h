@@ -1,20 +1,31 @@
 // Whole-model checkpointing: saves/loads every Param of a Module (in
-// CollectParams order) to a single binary file, so a pruned/retrained
-// model can be stored and later compiled onto the accelerator without
-// retraining. Format: magic "HWPC", u32 version, u64 count, then each
-// param as a name-length-prefixed string + tensor (see tensor/serialize).
+// CollectParams order) plus its inference buffers (BatchNorm running
+// statistics, in CollectBuffers order) to a single binary file, so a
+// pruned/retrained model can be stored and later compiled onto the
+// accelerator without retraining — BN folding reproduces exactly.
+//
+// Format: magic "HWPC", u32 version, u64 param count, each param as a
+// name-length-prefixed string + tensor (see tensor/serialize); version
+// >= 2 appends u64 buffer count + the buffers in the same encoding.
+// Version 1 files (params only) still load; buffers keep their
+// in-memory values.
+//
+// Both calls return Status instead of throwing: a missing file is
+// kNotFound, a malformed or mismatched file is kDataLoss /
+// kInvalidArgument, with messages naming the offending param.
 #pragma once
 
 #include <string>
 
+#include "common/status.h"
 #include "nn/module.h"
 
 namespace hwp3d::nn {
 
-void SaveCheckpoint(const std::string& path, Module& model);
+Status SaveCheckpoint(const std::string& path, Module& model);
 
-// Loads into an identically-structured model: every param must match by
-// name and shape, in order. Throws Error on any mismatch.
-void LoadCheckpoint(const std::string& path, Module& model);
+// Loads into an identically-structured model: every param/buffer must
+// match by name and shape, in order.
+Status LoadCheckpoint(const std::string& path, Module& model);
 
 }  // namespace hwp3d::nn

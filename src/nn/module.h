@@ -15,6 +15,14 @@
 
 namespace hwp3d::nn {
 
+// Non-trainable state a module needs for inference (e.g. BatchNorm
+// running statistics). Saved alongside Params by nn::checkpoint so a
+// loaded model folds BN identically to the model that was saved.
+struct NamedBuffer {
+  std::string name;
+  TensorF* tensor = nullptr;
+};
+
 class Module {
  public:
   virtual ~Module() = default;
@@ -31,11 +39,21 @@ class Module {
   // Appends pointers to this module's trainable parameters.
   virtual void CollectParams(std::vector<Param*>& out) { (void)out; }
 
+  // Appends this module's non-trainable inference state, in the same
+  // deterministic order as CollectParams. Default: none.
+  virtual void CollectBuffers(std::vector<NamedBuffer>& out) { (void)out; }
+
   virtual std::string name() const = 0;
 
   std::vector<Param*> Params() {
     std::vector<Param*> out;
     CollectParams(out);
+    return out;
+  }
+
+  std::vector<NamedBuffer> Buffers() {
+    std::vector<NamedBuffer> out;
+    CollectBuffers(out);
     return out;
   }
 
@@ -77,6 +95,10 @@ class Sequential : public Module {
 
   void CollectParams(std::vector<Param*>& out) override {
     for (auto& child : children_) child->CollectParams(out);
+  }
+
+  void CollectBuffers(std::vector<NamedBuffer>& out) override {
+    for (auto& child : children_) child->CollectBuffers(out);
   }
 
   std::string name() const override { return name_; }

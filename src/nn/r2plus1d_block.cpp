@@ -69,6 +69,12 @@ void Conv2Plus1d::CollectParams(std::vector<Param*>& out) {
   temporal_->CollectParams(out);
 }
 
+void Conv2Plus1d::CollectBuffers(std::vector<NamedBuffer>& out) {
+  spatial_->CollectBuffers(out);
+  bn_mid_->CollectBuffers(out);
+  temporal_->CollectBuffers(out);
+}
+
 ResidualBlock::ResidualBlock(ResidualBlockConfig cfg, Rng& rng,
                              std::string name)
     : cfg_(cfg), name_(std::move(name)) {
@@ -166,6 +172,17 @@ void ResidualBlock::CollectParams(std::vector<Param*>& out) {
   if (shortcut_conv_ != nullptr) {
     shortcut_conv_->CollectParams(out);
     shortcut_bn_->CollectParams(out);
+  }
+}
+
+void ResidualBlock::CollectBuffers(std::vector<NamedBuffer>& out) {
+  conv1_->CollectBuffers(out);
+  bn1_->CollectBuffers(out);
+  conv2_->CollectBuffers(out);
+  bn2_->CollectBuffers(out);
+  if (shortcut_conv_ != nullptr) {
+    shortcut_conv_->CollectBuffers(out);
+    shortcut_bn_->CollectBuffers(out);
   }
 }
 

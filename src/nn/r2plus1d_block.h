@@ -43,6 +43,7 @@ class Conv2Plus1d : public Module {
   TensorF Forward(const TensorF& x, bool train) override;
   TensorF Backward(const TensorF& dy) override;
   void CollectParams(std::vector<Param*>& out) override;
+  void CollectBuffers(std::vector<NamedBuffer>& out) override;
   std::string name() const override { return name_; }
 
   Conv3d& spatial() { return *spatial_; }
@@ -82,6 +83,7 @@ class ResidualBlock : public Module {
   TensorF Forward(const TensorF& x, bool train) override;
   TensorF Backward(const TensorF& dy) override;
   void CollectParams(std::vector<Param*>& out) override;
+  void CollectBuffers(std::vector<NamedBuffer>& out) override;
   std::string name() const override { return name_; }
 
   bool has_projection() const { return shortcut_conv_ != nullptr; }

@@ -1,7 +1,9 @@
 #include "obs/cli.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -9,6 +11,16 @@
 namespace hwp3d::obs {
 
 namespace {
+
+// One registered flag: a name plus a typed destination. String flags
+// store the raw value; integer flags parse it (warning + ignore on
+// garbage).
+struct Flag {
+  const char* name;  // "--threads"
+  enum class Kind { kString, kInt, kUint64 } kind;
+  void* target;      // std::string* / std::optional<int>* /
+                     // std::optional<uint64_t>*
+};
 
 // Matches "--flag value" and "--flag=value"; advances `i` past consumed
 // arguments and stores the value. Returns false if `arg` is not `flag`.
@@ -28,26 +40,78 @@ bool MatchFlag(const char* flag, int argc, char** argv, int& i,
   return false;
 }
 
+void StoreValue(const Flag& flag, const std::string& value) {
+  switch (flag.kind) {
+    case Flag::Kind::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return;
+    case Flag::Kind::kInt:
+    case Flag::Kind::kUint64: {
+      char* end = nullptr;
+      const long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' ||
+          (flag.kind == Flag::Kind::kInt && v < 1)) {
+        std::fprintf(stderr, "warning: invalid %s value \"%s\"; ignored\n",
+                     flag.name, value.c_str());
+        return;
+      }
+      if (flag.kind == Flag::Kind::kInt) {
+        *static_cast<std::optional<int>*>(flag.target) =
+            static_cast<int>(v);
+      } else {
+        *static_cast<std::optional<uint64_t>*>(flag.target) =
+            static_cast<uint64_t>(v);
+      }
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 CliOptions InitFromArgs(int& argc, char** argv) {
   CliOptions options;
+  const Flag registry[] = {
+      {"--trace-out", Flag::Kind::kString, &options.trace_out},
+      {"--metrics-out", Flag::Kind::kString, &options.metrics_out},
+      {"--engine", Flag::Kind::kString, &options.engine},
+      {"--device", Flag::Kind::kString, &options.device},
+      {"--threads", Flag::Kind::kInt, &options.threads},
+      {"--seed", Flag::Kind::kUint64, &options.seed},
+  };
+
   int out = 1;
   for (int i = 1; i < argc; ++i) {
-    if (MatchFlag("--trace-out", argc, argv, i, options.trace_out) ||
-        MatchFlag("--metrics-out", argc, argv, i, options.metrics_out)) {
-      continue;
+    bool consumed = false;
+    for (const Flag& flag : registry) {
+      std::string value;
+      if (MatchFlag(flag.name, argc, argv, i, value)) {
+        StoreValue(flag, value);
+        consumed = true;
+        break;
+      }
+      if (std::strcmp(argv[i], flag.name) == 0) {
+        std::fprintf(stderr, "warning: %s requires a value; ignored\n",
+                     argv[i]);
+        consumed = true;
+        break;
+      }
     }
-    if (std::strcmp(argv[i], "--trace-out") == 0 ||
-        std::strcmp(argv[i], "--metrics-out") == 0) {
-      std::fprintf(stderr, "warning: %s requires a value; ignored\n",
-                   argv[i]);
-      continue;
-    }
-    argv[out++] = argv[i];
+    if (!consumed) argv[out++] = argv[i];
   }
   argc = out;
+
   if (!options.trace_out.empty()) Tracer::Get().SetEnabled(true);
+  // The pool and the conv engine read their environment on first use,
+  // so these must be exported before any parallel code runs — which is
+  // why examples call InitFromArgs first thing in main.
+  if (options.threads.has_value()) {
+    setenv("HWP_THREADS", std::to_string(*options.threads).c_str(),
+           /*overwrite=*/1);
+  }
+  if (!options.engine.empty()) {
+    setenv("HWP_CONV_ENGINE", options.engine.c_str(), /*overwrite=*/1);
+  }
   return options;
 }
 

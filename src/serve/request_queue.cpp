@@ -1,0 +1,78 @@
+#include "serve/request_queue.h"
+
+#include <chrono>
+
+#include "common/strings.h"
+#include "obs/trace.h"
+
+namespace hwp3d::serve {
+
+Status RequestQueue::Push(Request&& request) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) {
+      return UnavailableError("request queue is closed (server draining)");
+    }
+    if (queue_.size() >= capacity_) {
+      return ResourceExhaustedError(StrFormat(
+          "request queue full (capacity %zu); retry later or raise "
+          "queue_capacity",
+          capacity_));
+    }
+    queue_.push_back(std::move(request));
+  }
+  nonempty_.notify_one();
+  return Status::Ok();
+}
+
+std::vector<Request> RequestQueue::PopBatch(int max_batch,
+                                            int64_t max_delay_us) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    nonempty_.wait(lk, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return {};  // closed and drained
+    // Flush wait: anchored to the oldest request so tail latency is
+    // bounded by max_delay_us regardless of arrival pattern. A
+    // concurrent consumer may drain the queue while we sleep, in which
+    // case we go back to waiting for the next request.
+    while (!closed_ && !queue_.empty() &&
+           static_cast<int>(queue_.size()) < max_batch) {
+      const double flush_at_us = queue_.front().enqueue_us + max_delay_us;
+      const double now_us = obs::NowUs();
+      if (now_us >= flush_at_us) break;
+      nonempty_.wait_for(lk, std::chrono::microseconds(static_cast<int64_t>(
+                                 flush_at_us - now_us)));
+    }
+    if (!queue_.empty()) break;
+    if (closed_) return {};
+  }
+  std::vector<Request> batch;
+  const size_t take =
+      std::min(queue_.size(), static_cast<size_t>(max_batch));
+  batch.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  nonempty_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+}  // namespace hwp3d::serve

@@ -1,0 +1,76 @@
+// Bounded MPMC request queue with time/size-based batching.
+//
+// Producers (Submit callers) push single requests and are never
+// blocked: when the queue is at capacity Push fails immediately with
+// kResourceExhausted — admission control backpressure, the caller
+// decides whether to retry, shed, or propagate. Consumers (batch
+// dispatchers) pop *batches*: PopBatch blocks until at least one
+// request is queued, then flushes as soon as either `max_batch`
+// requests are available or `max_delay_us` has elapsed since the
+// oldest queued request was enqueued — the classic latency/throughput
+// batching knob.
+//
+// Close() drains gracefully: pushes fail with kUnavailable, poppers
+// keep receiving the remaining requests (flushed immediately, no delay
+// wait) and finally an empty batch, their signal to exit.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "fpga/model_compiler.h"
+#include "tensor/tensor.h"
+
+namespace hwp3d::serve {
+
+// What a fulfilled request resolves to.
+struct InferenceResult {
+  TensorF logits;        // [num_classes]
+  int label = 0;         // argmax of logits
+  fpga::CompiledRunStats stats;  // modeled accelerator cost of this clip
+  int batch_size = 0;    // size of the batch this request rode in
+  int replica = 0;       // which replica executed it
+  double queue_us = 0.0;  // enqueue -> batch start
+  double total_us = 0.0;  // enqueue -> completion
+};
+
+struct Request {
+  TensorF clip;          // [C][D][H][W]
+  double enqueue_us = 0.0;   // obs::NowUs() at admission
+  double deadline_us = 0.0;  // absolute obs::NowUs() deadline; 0 = none
+  std::promise<StatusOr<InferenceResult>> promise;
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity) : capacity_(capacity) {}
+
+  // Non-blocking admission. kResourceExhausted when full, kUnavailable
+  // after Close().
+  Status Push(Request&& request);
+
+  // Blocks until the queue is non-empty or closed, then applies the
+  // flush policy above and returns up to `max_batch` requests in FIFO
+  // order. An empty vector means closed-and-drained.
+  std::vector<Request> PopBatch(int max_batch, int64_t max_delay_us);
+
+  void Close();
+
+  bool closed() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable nonempty_;  // pushes and Close() signal here
+  std::deque<Request> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace hwp3d::serve

@@ -1,0 +1,223 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "kernels/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hwp3d::serve {
+
+namespace {
+
+struct ServeMetrics {
+  obs::Counter& accepted;
+  obs::Counter& rejected;
+  obs::Counter& deadline_exceeded;
+  obs::Counter& completed;
+  obs::Counter& batches;
+  obs::Gauge& queue_depth;
+  obs::Histogram& batch_size;
+  obs::Histogram& latency_us;
+
+  static ServeMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Get();
+    static ServeMetrics m{reg.GetCounter("serve.accepted"),
+                          reg.GetCounter("serve.rejected"),
+                          reg.GetCounter("serve.deadline_exceeded"),
+                          reg.GetCounter("serve.completed"),
+                          reg.GetCounter("serve.batches"),
+                          reg.GetGauge("serve.queue_depth"),
+                          reg.GetHistogram("serve.batch_size"),
+                          reg.GetHistogram("serve.latency_us")};
+    return m;
+  }
+};
+
+int ArgMax(const TensorF& logits) {
+  int best = 0;
+  for (int64_t k = 1; k < logits.numel(); ++k) {
+    if (logits[k] > logits[best]) best = static_cast<int>(k);
+  }
+  return best;
+}
+
+}  // namespace
+
+double PercentileUs(std::vector<double> latencies_us, double q) {
+  if (latencies_us.empty()) return 0.0;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const double pos = q * static_cast<double>(latencies_us.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, latencies_us.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return latencies_us[lo] * (1.0 - frac) + latencies_us[hi] * frac;
+}
+
+InferenceServer::InferenceServer(const fpga::CompiledTinyR2Plus1d& model,
+                                 ServerConfig config)
+    : config_(config), queue_(config.queue_capacity) {
+  HWP_CHECK_MSG(config_.replicas >= 1,
+                "InferenceServer needs at least one replica");
+  HWP_CHECK_MSG(config_.max_batch >= 1, "max_batch must be >= 1");
+  HWP_CHECK_MSG(config_.queue_capacity >= 1, "queue_capacity must be >= 1");
+  replicas_.reserve(static_cast<size_t>(config_.replicas));
+  for (int r = 0; r < config_.replicas; ++r) replicas_.push_back(model);
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+InferenceServer::~InferenceServer() { Shutdown(); }
+
+std::future<StatusOr<InferenceResult>> InferenceServer::SubmitAsync(
+    TensorF clip, int64_t deadline_us) {
+  auto& m = ServeMetrics::Get();
+  Request req;
+  req.clip = std::move(clip);
+  req.enqueue_us = obs::NowUs();
+  const int64_t rel =
+      deadline_us > 0 ? deadline_us : config_.default_deadline_us;
+  req.deadline_us = rel > 0 ? req.enqueue_us + static_cast<double>(rel) : 0.0;
+  std::future<StatusOr<InferenceResult>> future =
+      req.promise.get_future();
+
+  Status admitted = queue_.Push(std::move(req));
+  if (!admitted.ok()) {
+    m.rejected.Add(1);
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++totals_.rejected;
+    }
+    // The request object (with its promise) died with the failed Push;
+    // report through a fresh promise for a uniform future-based path.
+    std::promise<StatusOr<InferenceResult>> failed;
+    failed.set_value(std::move(admitted));
+    return failed.get_future();
+  }
+  m.accepted.Add(1);
+  m.queue_depth.Set(static_cast<double>(queue_.size()));
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++totals_.accepted;
+  }
+  return future;
+}
+
+StatusOr<InferenceResult> InferenceServer::Submit(const TensorF& clip,
+                                                  int64_t deadline_us) {
+  return SubmitAsync(clip, deadline_us).get();
+}
+
+void InferenceServer::Shutdown() {
+  queue_.Close();
+  // Serialize the join so concurrent Shutdown() calls (user + dtor) are
+  // safe; the dispatcher drains the queue before PopBatch returns empty.
+  std::lock_guard<std::mutex> lk(shutdown_mu_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void InferenceServer::DispatchLoop() {
+  for (;;) {
+    std::vector<Request> batch =
+        queue_.PopBatch(config_.max_batch, config_.max_delay_us);
+    if (batch.empty()) return;  // closed and drained
+    RunBatch(batch);
+    ServeMetrics::Get().queue_depth.Set(static_cast<double>(queue_.size()));
+  }
+}
+
+void InferenceServer::RunBatch(std::vector<Request>& batch) {
+  auto& m = ServeMetrics::Get();
+  obs::TraceScope span("serve/batch");
+
+  // Expire requests whose deadline passed while they queued.
+  const double start_us = obs::NowUs();
+  std::vector<Request*> live;
+  live.reserve(batch.size());
+  for (Request& req : batch) {
+    if (req.deadline_us > 0.0 && start_us > req.deadline_us) {
+      m.deadline_exceeded.Add(1);
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++totals_.deadline_exceeded;
+      }
+      req.promise.set_value(DeadlineExceededError(StrFormat(
+          "request queued for %.0f us, past its %.0f us deadline",
+          start_us - req.enqueue_us, req.deadline_us - req.enqueue_us)));
+    } else {
+      live.push_back(&req);
+    }
+  }
+  if (live.empty()) return;
+
+  // Record batch-level stats up front: promises below must only resolve
+  // after every counter a waiter could observe through Stats() is final.
+  m.batches.Add(1);
+  m.batch_size.Observe(static_cast<double>(live.size()));
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++totals_.batches;
+  }
+
+  // Fan the batch out across the replicas on the process-wide pool:
+  // replica r serves items r, r+R, r+2R, ... Each replica is exclusive
+  // to one For-index, so no two threads share a TiledConvSim.
+  const int R = std::min<int>(config_.replicas,
+                              static_cast<int>(live.size()));
+  ThreadPool::Get().For(0, R, [&](int64_t r) {
+    for (size_t i = static_cast<size_t>(r); i < live.size();
+         i += static_cast<size_t>(R)) {
+      Request& req = *live[i];
+      InferenceResult result;
+      result.queue_us = start_us - req.enqueue_us;
+      result.batch_size = static_cast<int>(live.size());
+      result.replica = static_cast<int>(r);
+      try {
+        result.logits = replicas_[static_cast<size_t>(r)].Infer(
+            req.clip, &result.stats);
+      } catch (const Error& e) {
+        // A malformed request must not take the dispatcher (and with it
+        // every queued request) down.
+        req.promise.set_value(InvalidArgumentError(
+            StrFormat("inference failed: %s", e.what())));
+        continue;
+      }
+      result.label = ArgMax(result.logits);
+      result.total_us = obs::NowUs() - req.enqueue_us;
+      const double latency_us = result.total_us;
+      // Stats first, then the promise: a waiter that saw the future
+      // resolve must find its request reflected in Stats().
+      m.completed.Add(1);
+      m.latency_us.Observe(latency_us);
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++totals_.completed;
+        latencies_us_.push_back(latency_us);
+      }
+      req.promise.set_value(std::move(result));
+    }
+  });
+
+  if (span.active()) {
+    span.AddArg("batch_size", static_cast<int64_t>(live.size()));
+    span.AddArg("replicas", static_cast<int64_t>(R));
+  }
+}
+
+ServerStats InferenceServer::Stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  ServerStats s = totals_;
+  s.queue_depth = static_cast<int64_t>(queue_.size());
+  s.mean_batch_size =
+      s.batches > 0
+          ? static_cast<double>(s.completed) / static_cast<double>(s.batches)
+          : 0.0;
+  s.p50_ms = PercentileUs(latencies_us_, 0.50) / 1000.0;
+  s.p95_ms = PercentileUs(latencies_us_, 0.95) / 1000.0;
+  s.p99_ms = PercentileUs(latencies_us_, 0.99) / 1000.0;
+  return s;
+}
+
+}  // namespace hwp3d::serve

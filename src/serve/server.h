@@ -1,0 +1,109 @@
+// Concurrent batched-inference server over the compiled accelerator
+// simulator.
+//
+//   requests ──Push──▶ RequestQueue ──PopBatch──▶ dispatcher thread
+//                                                      │
+//                                        ThreadPool::For(0, replicas)
+//                                          replica 0 │ replica 1 │ ...
+//                                          (one TiledConvSim each)
+//
+// One dispatcher thread pops batches (flushing at max_batch or
+// max_delay_us) and fans each batch out across N replicas of the
+// compiled model on the process-wide hwp3d::ThreadPool: replica r runs
+// batch items r, r+N, r+2N, ... so a batch of B clips costs ceil(B/N)
+// serial clip times. Every replica is a copy of the same immutable
+// CompiledTinyR2Plus1d, so predictions are bitwise identical for any
+// replica count and identical to calling Infer() directly.
+//
+// Admission control: the bounded queue rejects with kResourceExhausted
+// instead of blocking producers. Requests carry optional absolute
+// deadlines; a request whose deadline passed while queued is completed
+// with kDeadlineExceeded without touching a replica. Shutdown(drain)
+// stops admission and completes every already-accepted request.
+//
+// Metrics: serve.accepted/rejected/deadline_exceeded/completed/batches
+// counters, serve.queue_depth gauge, serve.batch_size and
+// serve.latency_us histograms; trace span "serve/batch" per dispatch.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fpga/model_compiler.h"
+#include "serve/request_queue.h"
+
+namespace hwp3d::serve {
+
+struct ServerConfig {
+  int replicas = 1;
+  int max_batch = 8;
+  int64_t max_delay_us = 2000;    // flush timer from oldest request
+  size_t queue_capacity = 64;
+  int64_t default_deadline_us = 0;  // relative, applied at Submit; 0 = none
+};
+
+struct ServerStats {
+  int64_t accepted = 0;
+  int64_t rejected = 0;           // admission failures (queue full)
+  int64_t deadline_exceeded = 0;
+  int64_t completed = 0;
+  int64_t batches = 0;
+  int64_t queue_depth = 0;        // at the time of the Stats() call
+  double mean_batch_size = 0.0;
+  // End-to-end (enqueue -> completion) latency percentiles over every
+  // completed request, in milliseconds.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+class InferenceServer {
+ public:
+  // Takes its own replicas: `config.replicas` copies of `model`.
+  InferenceServer(const fpga::CompiledTinyR2Plus1d& model,
+                  ServerConfig config);
+  ~InferenceServer();  // graceful drain
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  // Admits one clip; the future resolves when a replica has run it (or
+  // with kDeadlineExceeded / kCancelled). `deadline_us` is relative to
+  // now; 0 uses config.default_deadline_us. Admission failure is
+  // reported through the future for a uniform error path.
+  std::future<StatusOr<InferenceResult>> SubmitAsync(
+      TensorF clip, int64_t deadline_us = 0);
+
+  // Blocking convenience wrapper around SubmitAsync.
+  StatusOr<InferenceResult> Submit(const TensorF& clip,
+                                   int64_t deadline_us = 0);
+
+  // Stops admission, waits for every accepted request to complete, and
+  // joins the dispatcher. Idempotent.
+  void Shutdown();
+
+  ServerStats Stats() const;
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  void DispatchLoop();
+  void RunBatch(std::vector<Request>& batch);
+
+  ServerConfig config_;
+  std::vector<fpga::CompiledTinyR2Plus1d> replicas_;
+  RequestQueue queue_;
+  std::thread dispatcher_;
+  std::mutex shutdown_mu_;  // serializes the dispatcher join
+
+  // Aggregate counters; latencies_ feeds the Stats() percentiles.
+  mutable std::mutex stats_mu_;
+  ServerStats totals_;
+  std::vector<double> latencies_us_;
+};
+
+// Sorted-copy percentile helper (q in [0,1]); exposed for the bench.
+double PercentileUs(std::vector<double> latencies_us, double q);
+
+}  // namespace hwp3d::serve

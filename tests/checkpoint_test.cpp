@@ -3,7 +3,9 @@
 #include <fstream>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "models/tiny_r2plus1d.h"
+#include "nn/batchnorm3d.h"
 #include "nn/checkpoint.h"
 #include "nn/linear.h"
 #include "tensor/init.h"
@@ -22,14 +24,14 @@ TEST(CheckpointTest, RoundTripLinearModel) {
   model.Emplace<nn::Linear>(4, 8, rng, "fc1");
   model.Emplace<nn::Linear>(8, 2, rng, "fc2");
   const std::string path = TempPath("ckpt_linear.bin");
-  nn::SaveCheckpoint(path, model);
+  ASSERT_TRUE(nn::SaveCheckpoint(path, model).ok());
 
   // A same-seed clone has identical structure but will be clobbered.
   Rng rng2(99);
   nn::Sequential other;
   other.Emplace<nn::Linear>(4, 8, rng2, "fc1");
   other.Emplace<nn::Linear>(8, 2, rng2, "fc2");
-  nn::LoadCheckpoint(path, other);
+  ASSERT_TRUE(nn::LoadCheckpoint(path, other).ok());
 
   auto a = model.Params();
   auto b = other.Params();
@@ -55,13 +57,47 @@ TEST(CheckpointTest, RoundTripTinyR2Plus1dPreservesPrunedZeros) {
   const double sparsity = Sparsity(conv->weight().value);
 
   const std::string path = TempPath("ckpt_tiny.bin");
-  nn::SaveCheckpoint(path, model);
+  ASSERT_TRUE(nn::SaveCheckpoint(path, model).ok());
 
   Rng rng2(77);
   models::TinyR2Plus1d loaded(cfg, rng2);
-  nn::LoadCheckpoint(path, loaded);
+  ASSERT_TRUE(nn::LoadCheckpoint(path, loaded).ok());
   EXPECT_NEAR(Sparsity(loaded.PrunableConvs()[0]->weight().value), sparsity,
               1e-12);
+}
+
+TEST(CheckpointTest, RoundTripRestoresBatchNormRunningStats) {
+  // v2 checkpoints carry the non-trainable buffers (BN running mean /
+  // var), which BN folding during compilation depends on.
+  Rng rng(6);
+  models::TinyR2Plus1dConfig cfg;
+  cfg.stem_channels = 4;
+  cfg.stage1_channels = 8;
+  cfg.stage2_channels = 8;
+  models::TinyR2Plus1d model(cfg, rng);
+  auto buffers = model.Buffers();
+  ASSERT_FALSE(buffers.empty());
+  // Perturb every buffer so the defaults cannot mask a failed load.
+  for (auto& buf : buffers) {
+    for (int64_t i = 0; i < buf.tensor->numel(); ++i) {
+      (*buf.tensor)[i] = 0.25f + 0.5f * static_cast<float>(i % 3);
+    }
+  }
+
+  const std::string path = TempPath("ckpt_buffers.bin");
+  ASSERT_TRUE(nn::SaveCheckpoint(path, model).ok());
+
+  Rng rng2(13);
+  models::TinyR2Plus1d loaded(cfg, rng2);
+  ASSERT_TRUE(nn::LoadCheckpoint(path, loaded).ok());
+  auto loaded_buffers = loaded.Buffers();
+  ASSERT_EQ(buffers.size(), loaded_buffers.size());
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    EXPECT_EQ(buffers[i].name, loaded_buffers[i].name);
+    EXPECT_TRUE(AllClose(*buffers[i].tensor, *loaded_buffers[i].tensor,
+                         0.0f, 0.0f))
+        << buffers[i].name;
+  }
 }
 
 TEST(CheckpointTest, RejectsStructureMismatch) {
@@ -69,20 +105,24 @@ TEST(CheckpointTest, RejectsStructureMismatch) {
   nn::Sequential model;
   model.Emplace<nn::Linear>(4, 8, rng, "fc1");
   const std::string path = TempPath("ckpt_mismatch.bin");
-  nn::SaveCheckpoint(path, model);
+  ASSERT_TRUE(nn::SaveCheckpoint(path, model).ok());
 
   nn::Sequential bigger;
   bigger.Emplace<nn::Linear>(4, 8, rng, "fc1");
   bigger.Emplace<nn::Linear>(8, 2, rng, "fc2");
-  EXPECT_THROW(nn::LoadCheckpoint(path, bigger), Error);  // param count
+  Status s = nn::LoadCheckpoint(path, bigger);  // param count
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("params"), std::string::npos) << s.ToString();
 
   nn::Sequential renamed;
   renamed.Emplace<nn::Linear>(4, 8, rng, "other_name");
-  EXPECT_THROW(nn::LoadCheckpoint(path, renamed), Error);  // name mismatch
+  s = nn::LoadCheckpoint(path, renamed);  // name mismatch
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
 
   nn::Sequential reshaped;
   reshaped.Emplace<nn::Linear>(8, 4, rng, "fc1");
-  EXPECT_THROW(nn::LoadCheckpoint(path, reshaped), Error);  // shape
+  s = nn::LoadCheckpoint(path, reshaped);  // shape
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
 }
 
 TEST(CheckpointTest, RejectsGarbageFile) {
@@ -94,14 +134,23 @@ TEST(CheckpointTest, RejectsGarbageFile) {
   Rng rng(4);
   nn::Sequential model;
   model.Emplace<nn::Linear>(2, 2, rng, "fc");
-  EXPECT_THROW(nn::LoadCheckpoint(path, model), Error);
+  EXPECT_EQ(nn::LoadCheckpoint(path, model).code(), StatusCode::kDataLoss);
 }
 
-TEST(CheckpointTest, MissingFileThrows) {
+TEST(CheckpointTest, MissingFileIsNotFound) {
   Rng rng(5);
   nn::Sequential model;
   model.Emplace<nn::Linear>(2, 2, rng, "fc");
-  EXPECT_THROW(nn::LoadCheckpoint("/no/such/file.bin", model), Error);
+  const Status s = nn::LoadCheckpoint("/no/such/file.bin", model);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.message().find("/no/such/file.bin"), std::string::npos);
+}
+
+TEST(CheckpointTest, SaveToUnwritablePathFails) {
+  Rng rng(8);
+  nn::Sequential model;
+  model.Emplace<nn::Linear>(2, 2, rng, "fc");
+  EXPECT_FALSE(nn::SaveCheckpoint("/no/such/dir/ckpt.bin", model).ok());
 }
 
 }  // namespace

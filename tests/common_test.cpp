@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/strings.h"
 
 namespace hwp3d {
@@ -92,6 +93,69 @@ TEST(ParallelTest, PropagatesExceptions) {
                     if (i == 50) throw Error("boom");
                   }),
       Error);
+}
+
+
+TEST(StatusTest, OkAndErrorBasics) {
+  const Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  const Status s = NotFoundError("no such thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such thing");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such thing");
+  EXPECT_EQ(s, NotFoundError("no such thing"));
+  EXPECT_FALSE(s == NotFoundError("different"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+            "DEADLINE_EXCEEDED");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+
+  StatusOr<int> e(InvalidArgumentError("nope"));
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_THROW(e.value(), Error);
+}
+
+TEST(StatusOrTest, MovesAndCopies) {
+  StatusOr<std::string> a(std::string("payload"));
+  StatusOr<std::string> b = a;  // copy keeps the source intact
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, "payload");
+
+  StatusOr<std::string> c = std::move(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, "payload");
+
+  c = StatusOr<std::string>(UnavailableError("gone"));
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusOrTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return DataLossError("inner"); };
+  auto outer = [&]() -> Status {
+    HWP_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kDataLoss);
 }
 
 TEST(StringsTest, StrFormat) {

@@ -127,6 +127,46 @@ TEST_F(ModelCompilerTest, RejectsMismatchedMasks) {
   EXPECT_THROW(fpga::CompiledTinyR2Plus1d(*model_, opts), Error);
 }
 
+TEST_F(ModelCompilerTest, CompileReturnsStatusInsteadOfThrowing) {
+  fpga::CompiledModelOptions opts;
+  opts.tiling = fpga::Tiling{4, 4, 2, 5, 5};
+  opts.masks.resize(3);  // wrong count (8 prunable convs)
+  auto bad = fpga::CompiledTinyR2Plus1d::Compile(*model_, opts);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  opts.masks.clear();
+  auto good = fpga::CompiledTinyR2Plus1d::Compile(*model_, opts);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  // The Status path compiles the same artifact as the throwing ctor.
+  fpga::CompiledTinyR2Plus1d direct(*model_, opts);
+  const TensorF clip = MakeClip();
+  const TensorF a = good->Infer(clip);
+  const TensorF b = direct.Infer(clip);
+  for (int64_t k = 0; k < a.numel(); ++k) EXPECT_EQ(a[k], b[k]);
+}
+
+TEST_F(ModelCompilerTest, CompileRejectsMismatchedMaskGrid) {
+  // Masks built for an 8x8 block grid can't feed a (4, 4) tiling.
+  std::vector<core::PruneLayerSpec> specs;
+  for (nn::Conv3d* c : model_->PrunableConvs()) {
+    specs.push_back({&c->weight(), {8, 8}, 0.5, c->name()});
+  }
+  core::AdmmPruner pruner(specs, core::AdmmConfig{});
+  pruner.StartRound(0);
+  pruner.HardPrune();
+
+  fpga::CompiledModelOptions opts;
+  opts.tiling = fpga::Tiling{4, 4, 2, 5, 5};
+  opts.masks = pruner.masks();
+  auto bad = fpga::CompiledTinyR2Plus1d::Compile(*model_, opts);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  // The message should steer the user back to re-pruning at (Tm, Tn).
+  EXPECT_NE(bad.status().message().find("block"), std::string::npos)
+      << bad.status().ToString();
+}
+
 TEST_F(ModelCompilerTest, RejectsBadClipRank) {
   fpga::CompiledModelOptions opts;
   opts.tiling = fpga::Tiling{4, 4, 2, 5, 5};
