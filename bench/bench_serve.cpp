@@ -7,13 +7,20 @@
 // Replica scaling rides the process-wide hwp3d::ThreadPool, so size it
 // to the host: bench_serve --threads 4 --replicas 1,2,4. Other flags:
 // --clips N, --max-batch N, --max-delay-us N, --json-out=PATH.
+//
+// Fault sweep: --fault-rate=0.1 (or HWP_FAULTS=serve.replica_infer=0.1)
+// injects transient replica failures. The bench then classifies every
+// outcome — ok, truthful transient failure, or anything else — and
+// exits non-zero only if a request was lost or resolved untruthfully.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <future>
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "data/synthetic_video.h"
@@ -37,6 +44,11 @@ struct Row {
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
   double mean_batch = 0.0;
   long long batches = 0;
+  long long ok = 0;
+  long long transient_failed = 0;
+  long long faults_injected = 0;
+  long long retries = 0;
+  long long quarantined = 0;
 };
 
 std::vector<int> ParseIntList(const char* s) {
@@ -68,6 +80,7 @@ int main(int argc, char** argv) {
   int max_batch = 8;
   long long max_delay_us = 500;
   std::vector<int> replica_counts = {1, 2, 4};
+  double fault_rate = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
       json_path = argv[i] + 11;
@@ -79,8 +92,17 @@ int main(int argc, char** argv) {
       max_delay_us = std::atoll(argv[i] + 15);
     } else if (std::strncmp(argv[i], "--replicas=", 11) == 0) {
       replica_counts = ParseIntList(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--fault-rate=", 13) == 0) {
+      fault_rate = std::atof(argv[i] + 13);
     }
   }
+  if (fault_rate > 0.0) {
+    FaultInjector::Get().Enable("serve.replica_infer",
+                                {.probability = fault_rate});
+  }
+  // HWP_FAULTS in the environment also works: FaultInjector::Get()
+  // parsed it on first access, so report whichever source is live.
+  const bool faults_on = FaultInjector::Get().active();
 
   // Model + compile (same small configuration the serve tests use; one
   // adaptation epoch so BN statistics are sane).
@@ -138,12 +160,27 @@ int main(int argc, char** argv) {
     for (const TensorF& clip : clips) {
       futures.push_back(server.SubmitAsync(clip));
     }
-    int failed = 0;
-    for (auto& f : futures) failed += !f.get().ok();
+    // Zero request loss: every future must resolve, and every failure
+    // must be a truthful transient (kUnavailable after exhausted
+    // retries under injection). Anything else is a serving bug.
+    long long ok = 0, transient = 0, lost = 0;
+    for (auto& f : futures) {
+      auto r = f.get();
+      if (r.ok()) {
+        ++ok;
+      } else if (r.status().code() == StatusCode::kUnavailable) {
+        ++transient;
+      } else {
+        std::fprintf(stderr, "replicas=%d: untruthful outcome: %s\n",
+                     replicas, r.status().ToString().c_str());
+        ++lost;
+      }
+    }
     const double wall_us = obs::NowUs() - t0;
-    if (failed != 0) {
-      std::fprintf(stderr, "replicas=%d: %d requests failed\n", replicas,
-                   failed);
+    if (lost != 0) return 1;
+    if (!faults_on && transient != 0) {
+      std::fprintf(stderr, "replicas=%d: %lld requests failed\n", replicas,
+                   transient);
       return 1;
     }
     const serve::ServerStats stats = server.Stats();
@@ -156,16 +193,24 @@ int main(int argc, char** argv) {
     row.p99_ms = stats.p99_ms;
     row.mean_batch = stats.mean_batch_size;
     row.batches = stats.batches;
+    row.ok = ok;
+    row.transient_failed = transient;
+    row.faults_injected = stats.faults_injected;
+    row.retries = stats.retries;
+    row.quarantined = stats.replicas_quarantined;
     rows.push_back(row);
   }
 
   const int threads = ThreadPool::Get().threads();
-  report::Table table("Batched serving vs serial Infer loop");
+  report::Table table(faults_on
+                          ? "Batched serving vs serial Infer loop (faults on)"
+                          : "Batched serving vs serial Infer loop");
   table.Header({"Config", "Clips/s", "Speedup", "p50 ms", "p95 ms",
-                "p99 ms", "Mean batch"});
+                "p99 ms", "Mean batch", "Faults", "Retries", "Quar"});
   table.Row({"serial x1", report::Table::Num(serial_cps, 1),
              report::Table::Ratio(1.0, 2),
-             report::Table::Num(serial_mean_ms, 2), "-", "-", "-"});
+             report::Table::Num(serial_mean_ms, 2), "-", "-", "-", "-", "-",
+             "-"});
   for (const Row& r : rows) {
     table.Row({"serve x" + std::to_string(r.replicas),
                report::Table::Num(r.throughput_cps, 1),
@@ -173,12 +218,25 @@ int main(int argc, char** argv) {
                report::Table::Num(r.p50_ms, 2),
                report::Table::Num(r.p95_ms, 2),
                report::Table::Num(r.p99_ms, 2),
-               report::Table::Num(r.mean_batch, 1)});
+               report::Table::Num(r.mean_batch, 1),
+               std::to_string(r.faults_injected),
+               std::to_string(r.retries),
+               std::to_string(r.quarantined)});
   }
   table.Print();
   std::printf("(thread pool: %d threads; batching: max_batch %d, "
               "max_delay %lld us)\n",
               threads, max_batch, max_delay_us);
+  if (faults_on) {
+    long long ok = 0, transient = 0;
+    for (const Row& r : rows) {
+      ok += r.ok;
+      transient += r.transient_failed;
+    }
+    std::printf("fault sweep: %lld ok, %lld truthful transient failures, "
+                "0 lost\n",
+                ok, transient);
+  }
 
   std::ofstream os(json_path);
   os << "{\n"
@@ -187,6 +245,8 @@ int main(int argc, char** argv) {
      << "  \"clips\": " << num_clips << ",\n"
      << "  \"max_batch\": " << max_batch << ",\n"
      << "  \"max_delay_us\": " << max_delay_us << ",\n"
+     << "  \"fault_rate\": " << fault_rate << ",\n"
+     << "  \"faults_on\": " << (faults_on ? "true" : "false") << ",\n"
      << "  \"serial\": {\"throughput_cps\": " << serial_cps
      << ", \"mean_ms\": " << serial_mean_ms << "},\n"
      << "  \"configs\": [\n";
@@ -198,7 +258,12 @@ int main(int argc, char** argv) {
        << ", \"p50_ms\": " << r.p50_ms << ", \"p95_ms\": " << r.p95_ms
        << ", \"p99_ms\": " << r.p99_ms
        << ", \"mean_batch\": " << r.mean_batch
-       << ", \"batches\": " << r.batches << "}"
+       << ", \"batches\": " << r.batches
+       << ", \"ok\": " << r.ok
+       << ", \"transient_failed\": " << r.transient_failed
+       << ", \"faults_injected\": " << r.faults_injected
+       << ", \"retries\": " << r.retries
+       << ", \"replicas_quarantined\": " << r.quarantined << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";

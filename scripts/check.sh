@@ -27,9 +27,26 @@ ctest --preset sanitize -R 'thread_pool|conv_engine_parity' \
   --repeat until-fail:3
 
 # Same treatment for the serving layer: the dispatcher thread, the MPMC
-# queue, and the promise hand-off are all lifetime-sensitive, which is
-# exactly what ASan/UBSan catch.
-echo "==> serve stress (sanitize)"
+# queue, the promise hand-off, and the fault paths (retry, quarantine,
+# watchdog kills) are all lifetime-sensitive, which is exactly what
+# ASan/UBSan catch.
+echo "==> serve + fault stress (sanitize)"
 ctest --preset sanitize -R 'serve' --repeat until-fail:3
+
+# ThreadSanitizer pass over the concurrent subsystems: the thread pool,
+# the serving dispatcher/watchdog, and the fault-injection paths where
+# the watchdog and replica lanes race for request promises. Guarded by
+# a probe because not every toolchain ships a working libtsan.
+echo "==> thread sanitizer (serve + pool + fault paths)"
+if printf 'int main(){return 0;}' \
+    | c++ -fsanitize=thread -x c++ - -o /tmp/hwp_tsan_probe 2>/dev/null \
+    && /tmp/hwp_tsan_probe 2>/dev/null; then
+  cmake --preset tsan
+  cmake --build --preset tsan -j "${JOBS}" \
+    --target serve_test serve_fault_test thread_pool_test
+  ctest --preset tsan -R 'serve|thread_pool' --repeat until-fail:2
+else
+  echo "(ThreadSanitizer unavailable on this toolchain; skipping)"
+fi
 
 echo "==> all checks passed"

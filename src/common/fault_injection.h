@@ -1,0 +1,103 @@
+// Deterministic fault-injection registry.
+//
+// Production code marks places where the outside world can fail —
+// replica inference, queue admission, checkpoint I/O — with a named
+// *fault point*:
+//
+//   if (FaultInjector::Get().Trip("serve.replica_infer")) {
+//     return UnavailableError("injected fault: serve.replica_infer");
+//   }
+//
+// When the point is not configured, Trip() is one relaxed atomic load
+// and returns false — the registry costs nothing in a healthy process.
+// Faults are enabled programmatically (tests) or via the HWP_FAULTS
+// environment variable (benchmarks, manual chaos runs):
+//
+//   HWP_FAULTS="serve.replica_infer=0.1"          10% failure rate
+//   HWP_FAULTS="serve.replica_wedge=1x1d200000"   fire once, 200ms stall
+//   HWP_FAULTS="ckpt.save=1x2,serve.queue_admit=0.05"
+//
+// Spec grammar per point: `name=PROB[xCOUNT][dDELAY_US]` where PROB is
+// the per-trial firing probability in [0, 1], COUNT caps the total
+// number of fires (default unlimited), and DELAY_US attaches a stall
+// duration that wedge-style call sites read back via delay_us().
+//
+// Determinism: trial n of a point fires iff hash(seed, name, n) < PROB,
+// with a per-point trial counter. The hash is a fixed FNV-1a/SplitMix64
+// mix, so the same seed and trial count reproduce the same fire
+// pattern on every run — and because trials are numbered by an atomic
+// counter, the *number* of fires over N trials is identical regardless
+// of thread interleaving. The seed comes from HWP_FAULTS_SEED or
+// SetSeed().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace hwp3d {
+
+struct FaultSpec {
+  double probability = 0.0;     // per-trial chance of firing, in [0, 1]
+  int64_t max_injections = -1;  // total fires allowed; -1 = unlimited
+  int64_t delay_us = 0;         // stall length for wedge-style points
+};
+
+class FaultInjector {
+ public:
+  // Process-global injector; parses HWP_FAULTS / HWP_FAULTS_SEED on
+  // first access.
+  static FaultInjector& Get();
+
+  // Registers (or replaces) a fault point.
+  void Enable(const std::string& point, FaultSpec spec);
+  // Shorthand used by tests: fire unconditionally for exactly `count`
+  // trials, optionally carrying a wedge delay.
+  void Arm(const std::string& point, int64_t count, int64_t delay_us = 0);
+  void Disable(const std::string& point);
+  // Drops every point and resets all trial/fire counters (tests).
+  void Reset();
+  // Reseeds the hash; also resets trial counters so a reseeded run
+  // reproduces from trial 0.
+  void SetSeed(uint64_t seed);
+
+  // Rolls the dice for one trial at `point`. Returns true when the
+  // fault fires (and counts it). Thread-safe; false for unknown points.
+  bool Trip(std::string_view point);
+
+  // Configured stall for the point (0 when none / unknown).
+  int64_t delay_us(std::string_view point) const;
+  // Fires so far at the point / across all points.
+  int64_t injected(std::string_view point) const;
+  int64_t total_injected() const;
+  // True when at least one point is configured (fast pre-check).
+  bool active() const {
+    return num_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+  // Parses an HWP_FAULTS-style spec list and enables every point in
+  // it. Malformed entries make the whole call fail without side
+  // effects on the valid points already registered.
+  Status Configure(std::string_view spec);
+
+ private:
+  FaultInjector();
+
+  struct Point {
+    FaultSpec spec;
+    int64_t trials = 0;
+    int64_t injected = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Point, std::less<>> points_;
+  std::atomic<int> num_points_{0};
+  uint64_t seed_ = 0x5eed;
+};
+
+}  // namespace hwp3d

@@ -1,0 +1,59 @@
+// Deadline-aware retry policy: exponential backoff with deterministic
+// jitter, hard-capped by the request deadline.
+//
+//   RetryPolicy retry({.max_attempts = 3});
+//   for (int attempt = 0;; ++attempt) {
+//     Status s = TryOnce();
+//     if (s.ok() || !RetryPolicy::IsRetryable(s)) return s;
+//     auto backoff = retry.NextBackoffUs(attempt, NowUs(), deadline_us);
+//     if (!backoff) return s;   // out of attempts or past the deadline
+//     SleepUs(*backoff);
+//   }
+//
+// The policy never schedules a retry whose backoff would land past the
+// absolute deadline — a request that cannot possibly finish in time
+// fails fast with the last transient status instead of sleeping into a
+// guaranteed kDeadlineExceeded. Jitter is a pure function of
+// (seed, attempt), so retry schedules are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/status.h"
+
+namespace hwp3d {
+
+struct RetryConfig {
+  int max_attempts = 3;           // total tries, including the first
+  int64_t initial_backoff_us = 200;
+  double multiplier = 2.0;
+  int64_t max_backoff_us = 5'000;
+  double jitter = 0.2;            // +/- fraction of the base backoff
+};
+
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryConfig config, uint64_t seed = 0x5eed);
+
+  // Backoff to sleep before attempt `attempt + 1` (attempts are
+  // 0-based), or nullopt when no retry should happen: attempts
+  // exhausted, or `now_us + backoff` would pass `deadline_us`
+  // (deadline 0 = none). Always >= 1 us when engaged.
+  std::optional<int64_t> NextBackoffUs(int attempt, double now_us,
+                                       double deadline_us) const;
+
+  // Transient codes worth retrying; everything else is a real answer.
+  static bool IsRetryable(const Status& s) {
+    return s.code() == StatusCode::kUnavailable ||
+           s.code() == StatusCode::kResourceExhausted;
+  }
+
+  const RetryConfig& config() const { return config_; }
+
+ private:
+  RetryConfig config_;
+  uint64_t seed_;
+};
+
+}  // namespace hwp3d

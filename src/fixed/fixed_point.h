@@ -22,11 +22,17 @@ class Fixed16 {
 
   constexpr Fixed16() = default;
 
-  // Quantizes a float with round-to-nearest and saturation.
+  // Quantizes a float with round-to-nearest and saturation. NaN maps
+  // to 0; ±Inf and out-of-range values saturate. The range check runs
+  // in floating point *before* any float→int conversion: casting a
+  // non-finite or out-of-range float to an integer is UB, so the
+  // integer SaturateRaw alone cannot make this safe.
   static Fixed16 FromFloat(float v) {
+    if (std::isnan(v)) return Fixed16(0);
     const float scaled = v * static_cast<float>(kScale);
-    const float rounded = std::nearbyint(scaled);
-    return Fixed16(SaturateRaw(static_cast<int64_t>(rounded)));
+    if (scaled >= static_cast<float>(kRawMax)) return Fixed16(kRawMax);
+    if (scaled <= static_cast<float>(kRawMin)) return Fixed16(kRawMin);
+    return Fixed16(static_cast<int16_t>(std::nearbyint(scaled)));
   }
 
   static constexpr Fixed16 FromRaw(int16_t raw) { return Fixed16(raw); }

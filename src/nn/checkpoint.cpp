@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/error.h"
+#include "common/fault_injection.h"
 #include "common/strings.h"
 #include "tensor/serialize.h"
 
@@ -66,6 +67,9 @@ Status LoadNamedTensor(std::istream& is, const std::string& path,
 }  // namespace
 
 Status SaveCheckpoint(const std::string& path, Module& model) {
+  if (FaultInjector::Get().Trip("ckpt.save")) {
+    return UnavailableError("injected fault: ckpt.save (" + path + ")");
+  }
   std::ofstream os(path, std::ios::binary);
   if (!os.is_open()) {
     return NotFoundError("cannot open " + path + " for writing");
@@ -92,6 +96,9 @@ Status SaveCheckpoint(const std::string& path, Module& model) {
 }
 
 Status LoadCheckpoint(const std::string& path, Module& model) {
+  if (FaultInjector::Get().Trip("ckpt.load")) {
+    return UnavailableError("injected fault: ckpt.load (" + path + ")");
+  }
   std::ifstream is(path, std::ios::binary);
   if (!is.is_open()) {
     return NotFoundError("cannot open checkpoint " + path +

@@ -126,6 +126,20 @@ InferenceSession::Builder& InferenceSession::Builder::DefaultDeadlineUs(
   server_.default_deadline_us = us;
   return *this;
 }
+InferenceSession::Builder& InferenceSession::Builder::Retry(
+    const RetryConfig& retry) {
+  server_.retry = retry;
+  return *this;
+}
+InferenceSession::Builder& InferenceSession::Builder::QuarantineAfter(int k) {
+  server_.quarantine_after = k;
+  return *this;
+}
+InferenceSession::Builder& InferenceSession::Builder::WatchdogTimeoutUs(
+    int64_t us) {
+  server_.watchdog_timeout_us = us;
+  return *this;
+}
 
 // --- Build ------------------------------------------------------------
 
@@ -149,6 +163,19 @@ InferenceSession::Builder::Build() {
         "MaxDelayUs(%lld): must be >= 0 (0 = flush every request "
         "immediately)",
         static_cast<long long>(server_.max_delay_us)));
+  }
+  if (server_.quarantine_after < 1) {
+    return InvalidArgumentError(StrFormat(
+        "QuarantineAfter(%d): need at least 1", server_.quarantine_after));
+  }
+  if (server_.retry.max_attempts < 1) {
+    return InvalidArgumentError(StrFormat(
+        "Retry: max_attempts (%d) must be >= 1", server_.retry.max_attempts));
+  }
+  if (server_.watchdog_timeout_us < 0) {
+    return InvalidArgumentError(StrFormat(
+        "WatchdogTimeoutUs(%lld): must be >= 0 (0 disables the watchdog)",
+        static_cast<long long>(server_.watchdog_timeout_us)));
   }
   if (checkpoint_.empty() && train_epochs_ < 1) {
     return InvalidArgumentError(

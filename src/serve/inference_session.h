@@ -78,6 +78,14 @@ class InferenceSession {
     Builder& QueueCapacity(size_t n);
     Builder& DefaultDeadlineUs(int64_t us);
 
+    // --- fault tolerance ----------------------------------------------
+    // Retry policy for transient replica failures (deadline-aware
+    // exponential backoff), quarantine threshold (K consecutive
+    // failures), and the stuck-batch watchdog timeout (0 disables).
+    Builder& Retry(const RetryConfig& retry);
+    Builder& QuarantineAfter(int k);
+    Builder& WatchdogTimeoutUs(int64_t us);
+
     // Validates the configuration, builds the model (train or load),
     // prunes, compiles, and starts the serving replicas.
     StatusOr<std::unique_ptr<InferenceSession>> Build();

@@ -1,6 +1,7 @@
 #include "serve/request_queue.h"
 
 #include <chrono>
+#include <cmath>
 
 #include "common/strings.h"
 #include "obs/trace.h"
@@ -40,8 +41,13 @@ std::vector<Request> RequestQueue::PopBatch(int max_batch,
       const double flush_at_us = queue_.front().enqueue_us + max_delay_us;
       const double now_us = obs::NowUs();
       if (now_us >= flush_at_us) break;
+      // Round the wait *up*: truncation would turn a sub-microsecond
+      // remainder into wait_for(0) and busy-spin until the clock
+      // crosses the flush point. Ceil overshoots by < 1 us at most,
+      // which the flush-time lower bound tolerates by construction.
+      pop_wait_iterations_.fetch_add(1, std::memory_order_relaxed);
       nonempty_.wait_for(lk, std::chrono::microseconds(static_cast<int64_t>(
-                                 flush_at_us - now_us)));
+                                 std::ceil(flush_at_us - now_us))));
     }
     if (!queue_.empty()) break;
     if (closed_) return {};

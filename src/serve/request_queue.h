@@ -15,6 +15,7 @@
 // wait) and finally an empty batch, their signal to exit.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -65,12 +66,21 @@ class RequestQueue {
   size_t size() const;
   size_t capacity() const { return capacity_; }
 
+  // Total timed condition-variable waits taken inside PopBatch since
+  // construction. Diagnostic: a PopBatch that waits out a flush window
+  // takes O(1) timed waits; an unbounded count means the consumer is
+  // busy-spinning (regression guard for the truncating-wait bug).
+  int64_t pop_wait_iterations() const {
+    return pop_wait_iterations_.load(std::memory_order_relaxed);
+  }
+
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable nonempty_;  // pushes and Close() signal here
   std::deque<Request> queue_;
   bool closed_ = false;
+  std::atomic<int64_t> pop_wait_iterations_{0};
 };
 
 }  // namespace hwp3d::serve

@@ -1,9 +1,13 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <deque>
 
 #include "common/error.h"
+#include "common/fault_injection.h"
+#include "common/logging.h"
 #include "common/strings.h"
 #include "kernels/thread_pool.h"
 #include "obs/metrics.h"
@@ -19,7 +23,12 @@ struct ServeMetrics {
   obs::Counter& deadline_exceeded;
   obs::Counter& completed;
   obs::Counter& batches;
+  obs::Counter& retries;
+  obs::Counter& faults_injected;
+  obs::Counter& replicas_quarantined;
+  obs::Counter& watchdog_fired;
   obs::Gauge& queue_depth;
+  obs::Gauge& healthy_replicas;
   obs::Histogram& batch_size;
   obs::Histogram& latency_us;
 
@@ -30,7 +39,12 @@ struct ServeMetrics {
                           reg.GetCounter("serve.deadline_exceeded"),
                           reg.GetCounter("serve.completed"),
                           reg.GetCounter("serve.batches"),
+                          reg.GetCounter("serve.retries"),
+                          reg.GetCounter("serve.faults_injected"),
+                          reg.GetCounter("serve.replicas_quarantined"),
+                          reg.GetCounter("serve.watchdog_fired"),
                           reg.GetGauge("serve.queue_depth"),
+                          reg.GetGauge("serve.healthy_replicas"),
                           reg.GetHistogram("serve.batch_size"),
                           reg.GetHistogram("serve.latency_us")};
     return m;
@@ -44,6 +58,14 @@ int ArgMax(const TensorF& logits) {
   }
   return best;
 }
+
+void SleepUs(int64_t us) {
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+constexpr const char* kFaultReplicaInfer = "serve.replica_infer";
+constexpr const char* kFaultReplicaWedge = "serve.replica_wedge";
+constexpr const char* kFaultQueueAdmit = "serve.queue_admit";
 
 }  // namespace
 
@@ -59,14 +81,38 @@ double PercentileUs(std::vector<double> latencies_us, double q) {
 
 InferenceServer::InferenceServer(const fpga::CompiledTinyR2Plus1d& model,
                                  ServerConfig config)
-    : config_(config), queue_(config.queue_capacity) {
+    : config_(config),
+      retry_(config.retry),
+      health_(std::max(config.replicas, 1),
+              std::max(config.quarantine_after, 1)),
+      queue_(config.queue_capacity) {
   HWP_CHECK_MSG(config_.replicas >= 1,
                 "InferenceServer needs at least one replica");
   HWP_CHECK_MSG(config_.max_batch >= 1, "max_batch must be >= 1");
   HWP_CHECK_MSG(config_.queue_capacity >= 1, "queue_capacity must be >= 1");
+  HWP_CHECK_MSG(config_.quarantine_after >= 1,
+                "quarantine_after must be >= 1");
+  HWP_CHECK_MSG(config_.retry.max_attempts >= 1,
+                "retry.max_attempts must be >= 1");
+  HWP_CHECK_MSG(config_.watchdog_timeout_us >= 0,
+                "watchdog_timeout_us must be >= 0 (0 disables)");
   replicas_.reserve(static_cast<size_t>(config_.replicas));
-  for (int r = 0; r < config_.replicas; ++r) replicas_.push_back(model);
+  replica_fault_points_.reserve(static_cast<size_t>(config_.replicas));
+  for (int r = 0; r < config_.replicas; ++r) {
+    replicas_.push_back(model);
+    replica_fault_points_.push_back(
+        StrFormat("%s.r%d", kFaultReplicaInfer, r));
+  }
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    totals_.healthy_replicas = config_.replicas;
+  }
+  ServeMetrics::Get().healthy_replicas.Set(
+      static_cast<double>(config_.replicas));
   dispatcher_ = std::thread([this] { DispatchLoop(); });
+  if (config_.watchdog_timeout_us > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
 InferenceServer::~InferenceServer() { Shutdown(); }
@@ -74,6 +120,19 @@ InferenceServer::~InferenceServer() { Shutdown(); }
 std::future<StatusOr<InferenceResult>> InferenceServer::SubmitAsync(
     TensorF clip, int64_t deadline_us) {
   auto& m = ServeMetrics::Get();
+  if (FaultInjector::Get().Trip(kFaultQueueAdmit)) {
+    m.faults_injected.Add(1);
+    m.rejected.Add(1);
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++totals_.faults_injected;
+      ++totals_.rejected;
+    }
+    std::promise<StatusOr<InferenceResult>> failed;
+    failed.set_value(UnavailableError(
+        StrFormat("injected fault: %s", kFaultQueueAdmit)));
+    return failed.get_future();
+  }
   Request req;
   req.clip = std::move(clip);
   req.enqueue_us = obs::NowUs();
@@ -112,10 +171,18 @@ StatusOr<InferenceResult> InferenceServer::Submit(const TensorF& clip,
 
 void InferenceServer::Shutdown() {
   queue_.Close();
-  // Serialize the join so concurrent Shutdown() calls (user + dtor) are
-  // safe; the dispatcher drains the queue before PopBatch returns empty.
+  // Serialize the joins so concurrent Shutdown() calls (user + dtor)
+  // are safe; the dispatcher drains the queue before PopBatch returns
+  // empty. The watchdog outlives the dispatcher on purpose: it must be
+  // able to kill a batch wedged during the drain.
   std::lock_guard<std::mutex> lk(shutdown_mu_);
   if (dispatcher_.joinable()) dispatcher_.join();
+  {
+    std::lock_guard<std::mutex> wlk(watch_mu_);
+    watchdog_stop_ = true;
+  }
+  watch_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 void InferenceServer::DispatchLoop() {
@@ -128,26 +195,155 @@ void InferenceServer::DispatchLoop() {
   }
 }
 
+void InferenceServer::NoteQuarantine(int replica) {
+  auto& m = ServeMetrics::Get();
+  m.replicas_quarantined.Add(1);
+  m.healthy_replicas.Set(static_cast<double>(health_.healthy_count()));
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    totals_.replicas_quarantined = health_.quarantined_count();
+    totals_.healthy_replicas = health_.healthy_count();
+  }
+  HWP_LOG(Warning) << "replica " << replica << " quarantined after "
+                   << config_.quarantine_after
+                   << " consecutive failures; serving degrades to "
+                   << health_.healthy_count() << "/" << config_.replicas
+                   << " replicas";
+}
+
+Status InferenceServer::RunOne(Pending& pending, int replica,
+                               double start_us, int batch_size,
+                               const std::atomic<bool>& cancelled) {
+  auto& m = ServeMetrics::Get();
+  auto& inj = FaultInjector::Get();
+  Request& req = pending.req;
+  Status transient = Status::Ok();
+  for (int attempt = 0;; ++attempt) {
+    if (cancelled.load(std::memory_order_acquire)) {
+      // The watchdog owns (or already resolved) this promise.
+      return CancelledError("batch cancelled by watchdog");
+    }
+    // Per-item deadline enforcement: a request that expired while
+    // earlier batch items ran must not consume a replica and must not
+    // report a stale OK long past its deadline.
+    const double now_us = obs::NowUs();
+    if (req.deadline_us > 0.0 && now_us > req.deadline_us) {
+      Status expired = DeadlineExceededError(StrFormat(
+          "request expired %.0f us past its %.0f us deadline "
+          "(mid-batch check)",
+          now_us - req.deadline_us, req.deadline_us - req.enqueue_us));
+      if (pending.Claim()) {
+        m.deadline_exceeded.Add(1);
+        {
+          std::lock_guard<std::mutex> lk(stats_mu_);
+          ++totals_.deadline_exceeded;
+        }
+        req.promise.set_value(std::move(expired));
+      }
+      return DeadlineExceededError("expired mid-batch");
+    }
+    if (inj.Trip(kFaultReplicaWedge)) {
+      // Simulated wedged replica: stall, then continue normally. The
+      // watchdog (when armed) kills the batch out from under us.
+      m.faults_injected.Add(1);
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++totals_.faults_injected;
+      }
+      SleepUs(inj.delay_us(kFaultReplicaWedge));
+      if (cancelled.load(std::memory_order_acquire)) {
+        return CancelledError("batch cancelled by watchdog");
+      }
+    }
+    const bool injected_failure =
+        inj.Trip(kFaultReplicaInfer) ||
+        inj.Trip(replica_fault_points_[static_cast<size_t>(replica)]);
+    if (!injected_failure) {
+      InferenceResult result;
+      result.queue_us = start_us - req.enqueue_us;
+      result.batch_size = batch_size;
+      result.replica = replica;
+      try {
+        result.logits = replicas_[static_cast<size_t>(replica)].Infer(
+            req.clip, &result.stats);
+      } catch (const Error& e) {
+        // A malformed request is a terminal per-request error, never a
+        // replica fault: no retry, no health penalty, and it must not
+        // take the dispatcher (and every queued request) down.
+        if (pending.Claim()) {
+          req.promise.set_value(InvalidArgumentError(
+              StrFormat("inference failed: %s", e.what())));
+        }
+        return InvalidArgumentError("malformed request");
+      }
+      health_.RecordSuccess(replica);
+      result.label = ArgMax(result.logits);
+      result.total_us = obs::NowUs() - req.enqueue_us;
+      const double latency_us = result.total_us;
+      // Claim first, then stats, then the promise: a waiter that saw
+      // the future resolve must find its request reflected in Stats(),
+      // and a concurrent watchdog kill must not double-resolve.
+      if (pending.Claim()) {
+        m.completed.Add(1);
+        m.latency_us.Observe(latency_us);
+        {
+          std::lock_guard<std::mutex> lk(stats_mu_);
+          ++totals_.completed;
+          latencies_us_.push_back(latency_us);
+        }
+        req.promise.set_value(std::move(result));
+      }
+      return Status::Ok();
+    }
+    // Injected transient failure.
+    m.faults_injected.Add(1);
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++totals_.faults_injected;
+    }
+    transient = UnavailableError(StrFormat(
+        "injected fault: %s (replica %d, attempt %d)", kFaultReplicaInfer,
+        replica, attempt));
+    if (health_.RecordFailure(replica)) NoteQuarantine(replica);
+    const std::optional<int64_t> backoff =
+        retry_.NextBackoffUs(attempt, obs::NowUs(), req.deadline_us);
+    if (!backoff) return transient;  // caller may rescue or fail truthfully
+    m.retries.Add(1);
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++totals_.retries;
+    }
+    SleepUs(*backoff);
+  }
+}
+
 void InferenceServer::RunBatch(std::vector<Request>& batch) {
   auto& m = ServeMetrics::Get();
   obs::TraceScope span("serve/batch");
 
+  // Stable-address wrappers so the watchdog and the replica lanes can
+  // race for each promise through an atomic claim.
+  std::deque<Pending> owned;
+  for (Request& req : batch) owned.emplace_back(std::move(req));
+
   // Expire requests whose deadline passed while they queued.
   const double start_us = obs::NowUs();
-  std::vector<Request*> live;
-  live.reserve(batch.size());
-  for (Request& req : batch) {
-    if (req.deadline_us > 0.0 && start_us > req.deadline_us) {
-      m.deadline_exceeded.Add(1);
-      {
-        std::lock_guard<std::mutex> lk(stats_mu_);
-        ++totals_.deadline_exceeded;
+  std::vector<Pending*> live;
+  for (Pending& p : owned) {
+    if (p.req.deadline_us > 0.0 && start_us > p.req.deadline_us) {
+      if (p.Claim()) {
+        m.deadline_exceeded.Add(1);
+        {
+          std::lock_guard<std::mutex> lk(stats_mu_);
+          ++totals_.deadline_exceeded;
+        }
+        p.req.promise.set_value(DeadlineExceededError(StrFormat(
+            "request queued for %.0f us, past its %.0f us deadline",
+            start_us - p.req.enqueue_us,
+            p.req.deadline_us - p.req.enqueue_us)));
       }
-      req.promise.set_value(DeadlineExceededError(StrFormat(
-          "request queued for %.0f us, past its %.0f us deadline",
-          start_us - req.enqueue_us, req.deadline_us - req.enqueue_us)));
     } else {
-      live.push_back(&req);
+      live.push_back(&p);
     }
   }
   if (live.empty()) return;
@@ -161,48 +357,102 @@ void InferenceServer::RunBatch(std::vector<Request>& batch) {
     ++totals_.batches;
   }
 
-  // Fan the batch out across the replicas on the process-wide pool:
-  // replica r serves items r, r+R, r+2R, ... Each replica is exclusive
-  // to one For-index, so no two threads share a TiledConvSim.
-  const int R = std::min<int>(config_.replicas,
+  // Re-stripe over the healthy replica set: with lanes H[0..L), lane k
+  // serves items k, k+L, ... Each healthy replica is exclusive to one
+  // lane, so no two threads share a TiledConvSim.
+  const std::vector<int> lanes = health_.HealthySet();
+  const int L = std::min<int>(static_cast<int>(lanes.size()),
                               static_cast<int>(live.size()));
-  ThreadPool::Get().For(0, R, [&](int64_t r) {
-    for (size_t i = static_cast<size_t>(r); i < live.size();
-         i += static_cast<size_t>(R)) {
-      Request& req = *live[i];
-      InferenceResult result;
-      result.queue_us = start_us - req.enqueue_us;
-      result.batch_size = static_cast<int>(live.size());
-      result.replica = static_cast<int>(r);
-      try {
-        result.logits = replicas_[static_cast<size_t>(r)].Infer(
-            req.clip, &result.stats);
-      } catch (const Error& e) {
-        // A malformed request must not take the dispatcher (and with it
-        // every queued request) down.
-        req.promise.set_value(InvalidArgumentError(
-            StrFormat("inference failed: %s", e.what())));
-        continue;
+  std::atomic<bool> cancelled{false};
+  if (config_.watchdog_timeout_us > 0) {
+    std::lock_guard<std::mutex> lk(watch_mu_);
+    watch_ = WatchTarget{start_us, &live, &cancelled};
+  }
+
+  // Items whose lane exhausted its retries; they get one rescue pass on
+  // a (possibly different, still-healthy) replica before failing.
+  std::mutex rescue_mu;
+  std::vector<Pending*> rescue;
+
+  ThreadPool::Get().For(0, L, [&](int64_t k) {
+    const int replica = lanes[static_cast<size_t>(k)];
+    for (size_t i = static_cast<size_t>(k); i < live.size();
+         i += static_cast<size_t>(L)) {
+      if (cancelled.load(std::memory_order_acquire)) return;
+      Status s = RunOne(*live[i], replica, start_us,
+                        static_cast<int>(live.size()), cancelled);
+      if (RetryPolicy::IsRetryable(s)) {
+        std::lock_guard<std::mutex> lk(rescue_mu);
+        rescue.push_back(live[i]);
       }
-      result.label = ArgMax(result.logits);
-      result.total_us = obs::NowUs() - req.enqueue_us;
-      const double latency_us = result.total_us;
-      // Stats first, then the promise: a waiter that saw the future
-      // resolve must find its request reflected in Stats().
-      m.completed.Add(1);
-      m.latency_us.Observe(latency_us);
-      {
-        std::lock_guard<std::mutex> lk(stats_mu_);
-        ++totals_.completed;
-        latencies_us_.push_back(latency_us);
-      }
-      req.promise.set_value(std::move(result));
     }
   });
 
+  // Rescue pass, serial on the dispatcher: the lane's replica may have
+  // been the problem (and may be quarantined by now), so give each
+  // survivor one more run on the current healthy set's first replica.
+  for (Pending* pending : rescue) {
+    if (cancelled.load(std::memory_order_acquire)) break;
+    if (pending->claimed.load(std::memory_order_acquire)) continue;
+    const std::vector<int> healthy = health_.HealthySet();
+    Status s = RunOne(*pending, healthy.front(), start_us,
+                      static_cast<int>(live.size()), cancelled);
+    if (RetryPolicy::IsRetryable(s) && pending->Claim()) {
+      // Still transiently failing after retries on two replica picks:
+      // fail truthfully with the transient status.
+      pending->req.promise.set_value(std::move(s));
+    }
+  }
+
+  if (config_.watchdog_timeout_us > 0) {
+    std::lock_guard<std::mutex> lk(watch_mu_);
+    watch_.reset();
+  }
+
   if (span.active()) {
     span.AddArg("batch_size", static_cast<int64_t>(live.size()));
-    span.AddArg("replicas", static_cast<int64_t>(R));
+    span.AddArg("replicas", static_cast<int64_t>(L));
+  }
+}
+
+void InferenceServer::WatchdogLoop() {
+  auto& m = ServeMetrics::Get();
+  const int64_t timeout_us = config_.watchdog_timeout_us;
+  const auto poll = std::chrono::microseconds(
+      std::clamp<int64_t>(timeout_us / 4, 1'000, 50'000));
+  std::unique_lock<std::mutex> lk(watch_mu_);
+  while (!watchdog_stop_) {
+    watch_cv_.wait_for(lk, poll, [&] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    if (!watch_) continue;
+    if (obs::NowUs() - watch_->start_us <
+        static_cast<double>(timeout_us)) {
+      continue;
+    }
+    // The batch is stuck (wedged replica call, pathological stall):
+    // cancel the lanes cooperatively and fail every outstanding request
+    // so waiters — and a pending Shutdown() — stop depending on it.
+    watch_->cancelled->store(true, std::memory_order_release);
+    int64_t killed = 0;
+    for (Pending* p : *watch_->live) {
+      if (!p->Claim()) continue;
+      ++killed;
+      p->req.promise.set_value(DeadlineExceededError(StrFormat(
+          "watchdog: batch stuck for more than %lld us; request failed "
+          "without a result",
+          static_cast<long long>(timeout_us))));
+    }
+    m.watchdog_fired.Add(1);
+    m.deadline_exceeded.Add(killed);
+    {
+      std::lock_guard<std::mutex> slk(stats_mu_);
+      ++totals_.watchdog_fired;
+      totals_.deadline_exceeded += killed;
+    }
+    HWP_LOG(Warning) << "serve watchdog fired: batch exceeded "
+                     << timeout_us << " us; failed " << killed
+                     << " outstanding request(s)";
+    watch_.reset();  // one firing per registered batch
   }
 }
 

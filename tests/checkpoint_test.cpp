@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "models/tiny_r2plus1d.h"
@@ -151,6 +152,30 @@ TEST(CheckpointTest, SaveToUnwritablePathFails) {
   nn::Sequential model;
   model.Emplace<nn::Linear>(2, 2, rng, "fc");
   EXPECT_FALSE(nn::SaveCheckpoint("/no/such/dir/ckpt.bin", model).ok());
+}
+
+TEST(CheckpointTest, InjectedIoFaultsSurfaceAsUnavailable) {
+  // The ckpt.save / ckpt.load fault points fail checkpoint I/O before
+  // touching the filesystem, with a retryable status — callers can
+  // exercise their recovery paths deterministically.
+  Rng rng(9);
+  nn::Sequential model;
+  model.Emplace<nn::Linear>(2, 2, rng, "fc");
+  const std::string path = TempPath("ckpt_fault.bin");
+
+  FaultInjector::Get().Reset();
+  FaultInjector::Get().Arm("ckpt.save", 1);
+  Status s = nn::SaveCheckpoint(path, model);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_NE(s.message().find("injected"), std::string::npos);
+  // The fault fired once; the retry goes through and writes the file.
+  ASSERT_TRUE(nn::SaveCheckpoint(path, model).ok());
+
+  FaultInjector::Get().Arm("ckpt.load", 1);
+  s = nn::LoadCheckpoint(path, model);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(nn::LoadCheckpoint(path, model).ok());
+  FaultInjector::Get().Reset();
 }
 
 }  // namespace

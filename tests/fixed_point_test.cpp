@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "fixed/fixed_point.h"
@@ -29,6 +30,25 @@ TEST(Fixed16Test, SaturatesAtRange) {
   EXPECT_FLOAT_EQ(Fixed16::FromFloat(-500.0f).ToFloat(), Fixed16::MinValue());
   EXPECT_NEAR(Fixed16::MaxValue(), 128.0f, 0.01f);
   EXPECT_FLOAT_EQ(Fixed16::MinValue(), -128.0f);
+}
+
+TEST(Fixed16Test, NonFiniteAndHugeInputsAreSafe) {
+  // Casting a non-finite or out-of-range float to int is UB, so these
+  // inputs must be handled in the float domain: NaN maps to zero, and
+  // ±Inf / huge magnitudes saturate like any other out-of-range value.
+  EXPECT_EQ(Fixed16::FromFloat(std::nanf("")).raw(), 0);
+  EXPECT_EQ(Fixed16::FromFloat(std::numeric_limits<float>::quiet_NaN()).raw(),
+            0);
+  EXPECT_EQ(Fixed16::FromFloat(std::numeric_limits<float>::infinity()).raw(),
+            Fixed16::kRawMax);
+  EXPECT_EQ(Fixed16::FromFloat(-std::numeric_limits<float>::infinity()).raw(),
+            Fixed16::kRawMin);
+  EXPECT_EQ(Fixed16::FromFloat(1e10f).raw(), Fixed16::kRawMax);
+  EXPECT_EQ(Fixed16::FromFloat(-1e10f).raw(), Fixed16::kRawMin);
+  EXPECT_EQ(Fixed16::FromFloat(std::numeric_limits<float>::max()).raw(),
+            Fixed16::kRawMax);
+  EXPECT_EQ(Fixed16::FromFloat(std::numeric_limits<float>::lowest()).raw(),
+            Fixed16::kRawMin);
 }
 
 TEST(Fixed16Test, AdditionExact) {

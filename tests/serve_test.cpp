@@ -73,6 +73,20 @@ TEST(RequestQueueTest, RejectsWhenFullAndAfterClose) {
   EXPECT_TRUE(q.PopBatch(8, 1'000'000).empty());
 }
 
+TEST(RequestQueueTest, NearFlushWaitDoesNotBusySpin) {
+  // Regression: with sub-microsecond time left before the flush point,
+  // the wait used to truncate to wait_for(0) and busy-spin the CPU
+  // until the deadline passed. The wait must always ceil to >= 1 us, so
+  // the pop needs only a handful of wakeups, not thousands.
+  RequestQueue q(16);
+  Request req = MakeRequest();
+  req.enqueue_us = obs::NowUs() - 0.6;  // flush lands 0.4 us away at 1 us delay
+  ASSERT_TRUE(q.Push(std::move(req)).ok());
+  const auto batch = q.PopBatch(/*max_batch=*/8, /*max_delay_us=*/1);
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_LE(q.pop_wait_iterations(), 64);
+}
+
 // --- InferenceServer over a compiled model ----------------------------
 
 class ServeTest : public ::testing::Test {
