@@ -1,12 +1,23 @@
-// Serving throughput/latency benchmark: a single-replica serial
-// baseline (direct CompiledTinyR2Plus1d::Infer loop) against the
-// batched InferenceServer at increasing replica counts, on the same
-// clips. Writes BENCH_serve.json with throughput, speedup-vs-serial,
-// and p50/p95/p99 end-to-end latency per configuration.
+// Serving throughput/latency benchmark in two parts:
+//
+//  1. Executor comparison (single replica, serial Infer loop): the
+//     step-by-step cycle simulator (kSimulate), the fast compiled
+//     executor on dense weights, and the fast executor on a 90%
+//     block-pruned compile — the last demonstrates the wall-clock win
+//     of physically eliding pruned tiles from the packed stream.
+//  2. Batched InferenceServer at increasing replica counts against a
+//     serial loop in the same executor mode (--executor, default
+//     fast), on the same clips.
+//
+// Writes BENCH_serve.json with both sections: an "executors" object
+// (sim/fast/pruned clips-per-second plus the fast_vs_sim and
+// pruned_vs_dense ratios) and the per-replica "configs" array with
+// throughput, speedup-vs-serial, and p50/p95/p99 latency.
 //
 // Replica scaling rides the process-wide hwp3d::ThreadPool, so size it
 // to the host: bench_serve --threads 4 --replicas 1,2,4. Other flags:
-// --clips N, --max-batch N, --max-delay-us N, --json-out=PATH.
+// --clips N, --max-batch N, --max-delay-us N, --executor sim|fast,
+// --json-out=PATH.
 //
 // Fault sweep: --fault-rate=0.1 (or HWP_FAULTS=serve.replica_infer=0.1)
 // injects transient replica failures. The bench then classifies every
@@ -23,7 +34,9 @@
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "core/block_partition.h"
 #include "data/synthetic_video.h"
+#include "fpga/compiled_executor.h"
 #include "fpga/model_compiler.h"
 #include "kernels/thread_pool.h"
 #include "models/tiny_r2plus1d.h"
@@ -125,22 +138,68 @@ int main(int argc, char** argv) {
                 {.lr = 0.02f, .momentum = 0.9f, .weight_decay = 0.0f});
     nn::TrainEpoch(model, opt, batches, {});
   }
+  // --executor (via HWP_EXEC) picks the engine the serving section
+  // runs; the executor-comparison section always measures both.
+  const fpga::ExecMode exec =
+      fpga::ResolveExecMode(std::nullopt, fpga::ExecMode::kFast);
+
   fpga::CompiledModelOptions copts;
   copts.tiling = fpga::Tiling{4, 4, 2, 5, 5};
-  auto compiled = fpga::CompiledTinyR2Plus1d::Compile(model, copts);
-  if (!compiled.ok()) {
-    std::fprintf(stderr, "%s\n", compiled.status().ToString().c_str());
+  copts.executor = fpga::ExecMode::kSimulate;
+  auto sim_model = fpga::CompiledTinyR2Plus1d::Compile(model, copts);
+  copts.executor = fpga::ExecMode::kFast;
+  auto fast_model = fpga::CompiledTinyR2Plus1d::Compile(model, copts);
+  // 90% block-pruned compile: keep every 10th block of each prunable
+  // conv's (Tm, Tn) grid. The weights are untouched (this measures the
+  // packed stream shrinking, not accuracy); real flows get the masks
+  // from core::AdmmPruner instead.
+  for (nn::Conv3d* c : model.PrunableConvs()) {
+    core::BlockPartition part(c->weight().value.shape(),
+                              {copts.tiling.Tm, copts.tiling.Tn});
+    core::BlockMask m = part.FullMask();
+    int64_t idx = 0;
+    for (int64_t bm = 0; bm < m.blocks_m; ++bm) {
+      for (int64_t bn = 0; bn < m.blocks_n; ++bn, ++idx) {
+        m.set(bm, bn, idx % 10 == 0);
+      }
+    }
+    copts.masks.push_back(std::move(m));
+  }
+  auto pruned_model = fpga::CompiledTinyR2Plus1d::Compile(model, copts);
+  if (!sim_model.ok() || !fast_model.ok() || !pruned_model.ok()) {
+    std::fprintf(stderr, "%s\n", (!sim_model.ok() ? sim_model
+                                  : !fast_model.ok() ? fast_model
+                                                     : pruned_model)
+                                     .status()
+                                     .ToString()
+                                     .c_str());
     return 1;
   }
+  fpga::CompiledTinyR2Plus1d& compiled =
+      exec == fpga::ExecMode::kFast ? *fast_model : *sim_model;
 
   std::vector<TensorF> clips;
   for (int i = 0; i < num_clips; ++i) {
     clips.push_back(dataset.MakeSample(i % dcfg.num_classes, rng).clip);
   }
 
-  // Serial baseline: one replica, no queue, no batching.
+  // Executor comparison: serial Infer loops over the same clips.
+  const auto time_serial = [&clips, num_clips](
+                               fpga::CompiledTinyR2Plus1d& m) {
+    const double t0 = obs::NowUs();
+    for (const TensorF& clip : clips) (void)m.Infer(clip);
+    return 1e6 * num_clips / (obs::NowUs() - t0);
+  };
+  const double sim_cps = time_serial(*sim_model);
+  const double fast_cps = time_serial(*fast_model);
+  const double pruned_cps = time_serial(*pruned_model);
+  const double fast_vs_sim = fast_cps / sim_cps;
+  const double pruned_vs_dense = pruned_cps / fast_cps;
+
+  // Serial baseline for the serving section: one replica, no queue, no
+  // batching, same executor the server uses.
   const double serial_t0 = obs::NowUs();
-  for (const TensorF& clip : clips) (void)compiled->Infer(clip);
+  for (const TensorF& clip : clips) (void)compiled.Infer(clip);
   const double serial_us = obs::NowUs() - serial_t0;
   const double serial_cps = 1e6 * num_clips / serial_us;
   const double serial_mean_ms = serial_us / num_clips / 1000.0;
@@ -152,7 +211,7 @@ int main(int argc, char** argv) {
     cfg.max_batch = max_batch;
     cfg.max_delay_us = max_delay_us;
     cfg.queue_capacity = static_cast<size_t>(num_clips) * 2;
-    serve::InferenceServer server(*compiled, cfg);
+    serve::InferenceServer server(compiled, cfg);
 
     const double t0 = obs::NowUs();
     std::vector<std::future<StatusOr<serve::InferenceResult>>> futures;
@@ -202,6 +261,19 @@ int main(int argc, char** argv) {
   }
 
   const int threads = ThreadPool::Get().threads();
+
+  report::Table exec_table("Executor comparison (serial Infer loop)");
+  exec_table.Header({"Executor", "Clips/s", "vs sim", "vs fast dense"});
+  exec_table.Row({"sim", report::Table::Num(sim_cps, 1),
+                  report::Table::Ratio(1.0, 2), "-"});
+  exec_table.Row({"fast dense", report::Table::Num(fast_cps, 1),
+                  report::Table::Ratio(fast_vs_sim, 2),
+                  report::Table::Ratio(1.0, 2)});
+  exec_table.Row({"fast 90% pruned", report::Table::Num(pruned_cps, 1),
+                  report::Table::Ratio(pruned_cps / sim_cps, 2),
+                  report::Table::Ratio(pruned_vs_dense, 2)});
+  exec_table.Print();
+
   report::Table table(faults_on
                           ? "Batched serving vs serial Infer loop (faults on)"
                           : "Batched serving vs serial Infer loop");
@@ -224,9 +296,9 @@ int main(int argc, char** argv) {
                std::to_string(r.quarantined)});
   }
   table.Print();
-  std::printf("(thread pool: %d threads; batching: max_batch %d, "
-              "max_delay %lld us)\n",
-              threads, max_batch, max_delay_us);
+  std::printf("(executor: %s; thread pool: %d threads; batching: "
+              "max_batch %d, max_delay %lld us)\n",
+              fpga::ExecModeName(exec), threads, max_batch, max_delay_us);
   if (faults_on) {
     long long ok = 0, transient = 0;
     for (const Row& r : rows) {
@@ -247,6 +319,12 @@ int main(int argc, char** argv) {
      << "  \"max_delay_us\": " << max_delay_us << ",\n"
      << "  \"fault_rate\": " << fault_rate << ",\n"
      << "  \"faults_on\": " << (faults_on ? "true" : "false") << ",\n"
+     << "  \"executor\": \"" << fpga::ExecModeName(exec) << "\",\n"
+     << "  \"executors\": {\"sim_cps\": " << sim_cps
+     << ", \"fast_dense_cps\": " << fast_cps
+     << ", \"fast_pruned90_cps\": " << pruned_cps
+     << ", \"fast_vs_sim\": " << fast_vs_sim
+     << ", \"pruned_vs_dense\": " << pruned_vs_dense << "},\n"
      << "  \"serial\": {\"throughput_cps\": " << serial_cps
      << ", \"mean_ms\": " << serial_mean_ms << "},\n"
      << "  \"configs\": [\n";

@@ -12,12 +12,14 @@
 // (the functional counterpart of Table IV's 2.6x claim) — is unchanged;
 // the plumbing the old example hand-wired now lives behind the facade.
 // Observability: --trace-out trace.json --metrics-out metrics.jsonl
-// (serve.* counters/histograms join the sim.* ones), --seed N,
-// --threads N.
+// (serve.* counters/histograms join the sim.*/exec.* ones), --seed N,
+// --threads N, --executor sim|fast (fast = pre-packed compiled
+// executor, the serving default; sim = step-by-step cycle simulator).
 #include <cstdio>
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "fpga/compiled_executor.h"
 #include "obs/cli.h"
 #include "obs/metrics.h"
 #include "report/table.h"
@@ -168,19 +170,29 @@ int main(int argc, char** argv) {
       (double)dense_cycles / accel_cycles,
       (double)dense_macs / accel_macs);
 
-  // The metrics registry was fed by the same TiledConvSim::Run calls
-  // that filled the per-request CompiledRunStats, so the totals must
-  // agree exactly — even with the runs fanned out across replicas.
+  // The metrics registry was fed by the same engine runs that filled
+  // the per-request CompiledRunStats, so the totals must agree exactly
+  // — even with the runs fanned out across replicas. Sessions pick
+  // their executor at Build time (fast by default, --executor=sim to
+  // force the cycle simulator); the simulator counts under sim.*, the
+  // compiled executor under exec.*, and their sum is engine-agnostic.
   const auto& reg = obs::MetricsRegistry::Get();
+  const fpga::ExecMode exec =
+      fpga::ResolveExecMode(std::nullopt, fpga::ExecMode::kFast);
   const long long stats_loaded = dense_loaded + accel_loaded;
   const long long stats_skipped = dense_skipped + accel_skipped;
+  const long long meter_loaded =
+      (long long)(reg.CounterTotal("sim.blocks_loaded") +
+                  reg.CounterTotal("exec.blocks_loaded"));
+  const long long meter_skipped =
+      (long long)(reg.CounterTotal("sim.blocks_skipped") +
+                  reg.CounterTotal("exec.blocks_skipped"));
   std::printf(
-      "metrics cross-check: sim.blocks_loaded %lld (stats %lld), "
-      "sim.blocks_skipped %lld (stats %lld)%s\n",
-      (long long)reg.CounterTotal("sim.blocks_loaded"), stats_loaded,
-      (long long)reg.CounterTotal("sim.blocks_skipped"), stats_skipped,
-      (reg.CounterTotal("sim.blocks_loaded") == stats_loaded &&
-       reg.CounterTotal("sim.blocks_skipped") == stats_skipped)
+      "metrics cross-check (executor: %s): blocks_loaded %lld "
+      "(stats %lld), blocks_skipped %lld (stats %lld)%s\n",
+      fpga::ExecModeName(exec), meter_loaded, stats_loaded, meter_skipped,
+      stats_skipped,
+      (meter_loaded == stats_loaded && meter_skipped == stats_skipped)
           ? " [OK]"
           : " [MISMATCH]");
 

@@ -2,26 +2,57 @@
 # Build the release config and run the kernel + serving benchmarks,
 # writing machine-readable summaries (BENCH_kernels.json,
 # BENCH_serve.json) in the repo root.
-# Usage: scripts/bench.sh [-j N] [extra bench_kernels args...]
+#
+# Usage: scripts/bench.sh [-j N] [--native] [--check] [extra bench_kernels args...]
+#   --native  build with the release-native preset (-O3 -march=native;
+#             binaries are tuned to THIS machine's ISA — don't ship them)
+#   --check   after the run, compare the fresh summaries against the
+#             committed baselines in bench/baselines/ and exit non-zero
+#             on a >15% regression of a guarded ratio metric
+#             (scripts/bench_check.py)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
-if [[ "${1:-}" == "-j" && -n "${2:-}" ]]; then
-  JOBS="$2"
-  shift 2
-fi
+PRESET="release"
+BUILD_DIR="build"
+CHECK=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -j)
+      JOBS="$2"
+      shift 2
+      ;;
+    --native)
+      PRESET="release-native"
+      BUILD_DIR="build-native"
+      shift
+      ;;
+    --check)
+      CHECK=1
+      shift
+      ;;
+    *)
+      break
+      ;;
+  esac
+done
 
-echo "==> configure (release)"
-cmake --preset release
+echo "==> configure (${PRESET})"
+cmake --preset "${PRESET}"
 echo "==> build bench_kernels + bench_serve"
-cmake --build --preset release -j "${JOBS}" --target bench_kernels bench_serve
+cmake --build --preset "${PRESET}" -j "${JOBS}" --target bench_kernels bench_serve
 
 echo "==> run bench_kernels"
-./build/bench/bench_kernels --json-out=BENCH_kernels.json "$@"
+"./${BUILD_DIR}/bench/bench_kernels" --json-out=BENCH_kernels.json "$@"
 
 echo "==> run bench_serve"
-./build/bench/bench_serve --threads "${JOBS}" --json-out=BENCH_serve.json
+"./${BUILD_DIR}/bench/bench_serve" --threads "${JOBS}" --json-out=BENCH_serve.json
 
 echo "==> wrote BENCH_kernels.json BENCH_serve.json"
+
+if [[ "${CHECK}" -eq 1 ]]; then
+  echo "==> bench-check vs bench/baselines/"
+  python3 scripts/bench_check.py
+fi

@@ -9,12 +9,14 @@
 // block-enable, FC head on the host.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/block_partition.h"
+#include "fpga/compiled_executor.h"
 #include "fpga/tiled_conv_sim.h"
 #include "models/tiny_r2plus1d.h"
 
@@ -26,6 +28,11 @@ struct CompiledModelOptions {
   // Block masks for the prunable convs, indexed like
   // TinyR2Plus1d::PrunableConvs(); empty = dense execution.
   std::vector<core::BlockMask> masks;
+  // Which engine runs the conv stages; both are bitwise identical
+  // (asserted by compiled_executor_test). Unset resolves via the
+  // HWP_EXEC environment variable, else defaults to kSimulate here —
+  // serving (InferenceSession / bench_serve) resolves to kFast.
+  std::optional<ExecMode> executor;
 };
 
 struct CompiledRunStats {
@@ -60,6 +67,10 @@ class CompiledTinyR2Plus1d {
   // Argmax convenience.
   int Classify(const TensorF& clip, CompiledRunStats* stats = nullptr) const;
 
+  // The engine Infer dispatches to (resolved at compile time from
+  // options.executor / HWP_EXEC, default kSimulate).
+  ExecMode executor() const { return exec_; }
+
  private:
   struct ConvStage {
     std::string name;                 // conv layer name, labels traces/metrics
@@ -68,6 +79,9 @@ class CompiledTinyR2Plus1d {
     std::array<int64_t, 3> padding;
     std::optional<core::BlockMask> mask;
     PostOps post;                     // affine/relu; shortcut set at runtime
+    // Block-CSR packed weights for the fast path; shared so serving
+    // replicas (copies of this model) reuse one packed stream.
+    std::shared_ptr<const PackedConvLayer> packed;
   };
 
   // Builds a stage from a conv and the BN that follows it (null = raw).
@@ -82,6 +96,7 @@ class CompiledTinyR2Plus1d {
                          CompiledRunStats* stats) const;
 
   CompiledModelOptions options_;
+  ExecMode exec_ = ExecMode::kSimulate;
   TiledConvSim sim_;
 
   // Stem.

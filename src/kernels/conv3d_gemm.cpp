@@ -1,8 +1,8 @@
 #include "kernels/conv3d_gemm.h"
 
 #include <algorithm>
-#include <vector>
 
+#include "kernels/scratch.h"
 #include "kernels/sgemm.h"
 #include "obs/trace.h"
 
@@ -13,10 +13,10 @@ void Conv3dForwardGemm(const Conv3dGeom& g, const float* x, const float* w,
   HWP_TRACE_SCOPE("kernels/conv3d_forward_gemm");
   const int64_t K = g.cols_rows();
   const int64_t P = g.cols_cols();
-  thread_local std::vector<float> cols;
-  cols.resize(static_cast<size_t>(K * P));
+  thread_local ScratchBuffer<float> cols_scratch;
+  float* cols = cols_scratch.Resize(static_cast<size_t>(K * P));
   for (int64_t b = 0; b < g.batch; ++b) {
-    Im2col3d(g, x + b * g.in_sample_size(), cols.data());
+    Im2col3d(g, x + b * g.in_sample_size(), cols);
     float* yb = y + b * g.out_sample_size();
     if (bias != nullptr) {
       // Seed each output row with its bias, then accumulate the GEMM.
@@ -25,7 +25,7 @@ void Conv3dForwardGemm(const Conv3dGeom& g, const float* x, const float* w,
       }
     }
     Sgemm(/*trans_a=*/false, /*trans_b=*/false, g.out_c, P, K, w, K,
-          cols.data(), P, yb, P, /*accumulate=*/bias != nullptr);
+          cols, P, yb, P, /*accumulate=*/bias != nullptr);
   }
 }
 
@@ -34,21 +34,22 @@ void Conv3dBackwardGemm(const Conv3dGeom& g, const float* x, const float* w,
   HWP_TRACE_SCOPE("kernels/conv3d_backward_gemm");
   const int64_t K = g.cols_rows();
   const int64_t P = g.cols_cols();
-  thread_local std::vector<float> cols;
-  thread_local std::vector<float> dcols;
-  cols.resize(static_cast<size_t>(K * P));
-  if (dx != nullptr) dcols.resize(static_cast<size_t>(K * P));
+  thread_local ScratchBuffer<float> cols_scratch;
+  thread_local ScratchBuffer<float> dcols_scratch;
+  float* cols = cols_scratch.Resize(static_cast<size_t>(K * P));
+  float* dcols =
+      dx != nullptr ? dcols_scratch.Resize(static_cast<size_t>(K * P)) : nullptr;
   for (int64_t b = 0; b < g.batch; ++b) {
     const float* dyb = dy + b * g.out_sample_size();
-    Im2col3d(g, x + b * g.in_sample_size(), cols.data());
+    Im2col3d(g, x + b * g.in_sample_size(), cols);
     // dW[M×K] += dy_b[M×P] · cols_bᵀ[P×K]
     Sgemm(/*trans_a=*/false, /*trans_b=*/true, g.out_c, K, P, dyb, P,
-          cols.data(), P, dw, K, /*accumulate=*/true);
+          cols, P, dw, K, /*accumulate=*/true);
     if (dx != nullptr) {
       // dcols[K×P] = Wᵀ[K×M] · dy_b[M×P], then scatter back to dx_b.
       Sgemm(/*trans_a=*/true, /*trans_b=*/false, K, P, g.out_c, w, K, dyb, P,
-            dcols.data(), P, /*accumulate=*/false);
-      Col2im3d(g, dcols.data(), dx + b * g.in_sample_size());
+            dcols, P, /*accumulate=*/false);
+      Col2im3d(g, dcols, dx + b * g.in_sample_size());
     }
   }
 }

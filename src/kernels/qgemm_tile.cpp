@@ -1,0 +1,38 @@
+#include "kernels/qgemm_tile.h"
+
+namespace hwp3d::kernels {
+
+void QOuterMacRow(FixedAccum* acc, int64_t acc_stride, const Fixed16* w_col,
+                  int64_t tm_n, const Fixed16* in, int64_t in_stride,
+                  int64_t n) {
+  if (in_stride == 1) {
+    // Contiguous input row (column stride 1, the common case): the
+    // c-loop is a scalar×row widening MAC the compiler vectorizes.
+    for (int64_t tm = 0; tm < tm_n; ++tm) {
+      const Fixed16 w = w_col[tm];
+      FixedAccum* a = acc + tm * acc_stride;
+      for (int64_t c = 0; c < n; ++c) a[c].MulAdd(w, in[c]);
+    }
+  } else {
+    for (int64_t tm = 0; tm < tm_n; ++tm) {
+      const Fixed16 w = w_col[tm];
+      FixedAccum* a = acc + tm * acc_stride;
+      for (int64_t c = 0; c < n; ++c) a[c].MulAdd(w, in[c * in_stride]);
+    }
+  }
+}
+
+void QPostProcessRow(const FixedAccum* acc, int64_t n, bool has_affine,
+                     Fixed16 scale, Fixed16 shift, const Fixed16* shortcut,
+                     bool relu, Fixed16* out) {
+  const Fixed16 zero;
+  for (int64_t c = 0; c < n; ++c) {
+    Fixed16 v = acc[c].ToFixed16();
+    if (has_affine) v = v * scale + shift;
+    if (shortcut != nullptr) v = v + shortcut[c];
+    if (relu && v < zero) v = zero;
+    out[c] = v;
+  }
+}
+
+}  // namespace hwp3d::kernels

@@ -1,0 +1,46 @@
+// Vectorizable Q7.8 fixed-point micro-kernels for the fast-path
+// compiled executor (fpga::PackedConvLayer).
+//
+// The accelerator simulator accumulates int16 Q7.8 products in a wide
+// DSP48-style accumulator (hwp3d::FixedAccum, an int64) and narrows to
+// Q7.8 exactly once per output element. Because the int64 accumulation
+// of int16×int16 products is exact — each product fits in 32 bits and
+// the sum cannot overflow 64 — the result is independent of
+// accumulation order, so these kernels are free to reorder the loops
+// for locality and SIMD while staying bitwise identical to
+// TiledConvSim's per-element arithmetic.
+//
+// The workhorse is an outer-product row update: one packed weight
+// column (the Tm values of a (tm, tn, kd, kr, kc) slot) times one input
+// row strip, accumulated into a [tm][c] accumulator tile that stays in
+// cache across the whole surviving-tile list of an output-channel
+// block. The inner c-loop is a scalar-times-row multiply-accumulate
+// over contiguous (stride 1) or strided input, which compilers
+// auto-vectorize to widening 16→32-bit multiplies feeding 64-bit adds
+// (see the release-native preset for -march=native builds).
+#pragma once
+
+#include <cstdint>
+
+#include "fixed/fixed_point.h"
+
+namespace hwp3d::kernels {
+
+// acc[tm * acc_stride + c] += w_col[tm] * in[c * in_stride]
+// for tm in [0, tm_n), c in [0, n). `w_col` is one packed weight
+// column ([tm] fastest, see PackedConvLayer's tile layout); `in` is one
+// input feature row sampled at the layer's column stride.
+void QOuterMacRow(FixedAccum* acc, int64_t acc_stride, const Fixed16* w_col,
+                  int64_t tm_n, const Fixed16* in, int64_t in_stride,
+                  int64_t n);
+
+// Narrows and post-processes one accumulator row into the output:
+//   v = narrow(acc[c]); if affine: v = v*scale + shift;
+//   if shortcut: v = v + shortcut[c]; if relu: v = max(v, 0)
+// in exactly the order and Q7.8 saturating arithmetic of the
+// simulator's post-processing unit. `shortcut` may be null.
+void QPostProcessRow(const FixedAccum* acc, int64_t n, bool has_affine,
+                     Fixed16 scale, Fixed16 shift, const Fixed16* shortcut,
+                     bool relu, Fixed16* out);
+
+}  // namespace hwp3d::kernels

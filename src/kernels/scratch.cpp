@@ -1,0 +1,34 @@
+#include "kernels/scratch.h"
+
+#include <atomic>
+
+#include "obs/metrics.h"
+
+namespace hwp3d::kernels {
+
+namespace {
+std::atomic<int64_t>& Total() {
+  static std::atomic<int64_t> total{0};
+  return total;
+}
+}  // namespace
+
+int64_t ScratchBytesInUse() {
+  return Total().load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void AccountScratch(int64_t delta_bytes, bool sync_gauge) {
+  const int64_t now =
+      Total().fetch_add(delta_bytes, std::memory_order_relaxed) + delta_bytes;
+  if (sync_gauge) {
+    static obs::Gauge& gauge =
+        obs::MetricsRegistry::Get().GetGauge("kernels.scratch_bytes");
+    gauge.Set(static_cast<double>(now));
+  }
+}
+
+}  // namespace detail
+
+}  // namespace hwp3d::kernels

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
-#include <vector>
 
+#include "kernels/scratch.h"
 #include "kernels/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -117,8 +117,8 @@ void Sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   const double t_start = obs::NowUs();
   double pack_us = 0.0;
 
-  thread_local std::vector<float> bpack;
-  thread_local std::vector<float> apack;
+  thread_local ScratchBuffer<float> bpack;
+  thread_local ScratchBuffer<float> apack;
   ThreadPool& pool = ThreadPool::Get();
 
   for (int64_t jc = 0; jc < n; jc += kNC) {
@@ -127,20 +127,19 @@ void Sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
     for (int64_t pc = 0; pc < k; pc += kKC) {
       const int64_t kc = std::min(kKC, k - pc);
       double t0 = obs::NowUs();
-      bpack.resize(static_cast<size_t>(njr * kc * kNR));
-      PackB(b, ldb, trans_b, pc, jc, kc, nc, bpack.data());
+      float* bp = bpack.Resize(static_cast<size_t>(njr * kc * kNR));
+      PackB(b, ldb, trans_b, pc, jc, kc, nc, bp);
       pack_us += obs::NowUs() - t0;
       for (int64_t ic = 0; ic < m; ic += kMC) {
         const int64_t mc = std::min(kMC, m - ic);
         t0 = obs::NowUs();
-        apack.resize(static_cast<size_t>(CeilDiv(mc, kMR) * kc * kMR));
-        PackA(a, lda, trans_a, ic, pc, mc, kc, apack.data());
+        float* ap =
+            apack.Resize(static_cast<size_t>(CeilDiv(mc, kMR) * kc * kMR));
+        PackA(a, lda, trans_a, ic, pc, mc, kc, ap);
         pack_us += obs::NowUs() - t0;
         // Column micro-panels fan out across the pool; each task owns a
         // disjoint nr-wide strip of C, and the pc blocks accumulate in
         // caller order, so the result is thread-count independent.
-        const float* ap = apack.data();
-        const float* bp = bpack.data();
         pool.For(0, njr, [&, ap, bp](int64_t jr) {
           const int64_t j0 = jr * kNR;
           const int64_t nr = std::min(kNR, nc - j0);

@@ -75,6 +75,7 @@ CliOptions InitFromArgs(int& argc, char** argv) {
       {"--trace-out", Flag::Kind::kString, &options.trace_out},
       {"--metrics-out", Flag::Kind::kString, &options.metrics_out},
       {"--engine", Flag::Kind::kString, &options.engine},
+      {"--executor", Flag::Kind::kString, &options.executor},
       {"--device", Flag::Kind::kString, &options.device},
       {"--threads", Flag::Kind::kInt, &options.threads},
       {"--seed", Flag::Kind::kUint64, &options.seed},
@@ -111,6 +112,9 @@ CliOptions InitFromArgs(int& argc, char** argv) {
   }
   if (!options.engine.empty()) {
     setenv("HWP_CONV_ENGINE", options.engine.c_str(), /*overwrite=*/1);
+  }
+  if (!options.executor.empty()) {
+    setenv("HWP_EXEC", options.executor.c_str(), /*overwrite=*/1);
   }
   return options;
 }

@@ -105,6 +105,11 @@ InferenceSession::Builder& InferenceSession::Builder::Ports(
   ports_ = ports;
   return *this;
 }
+InferenceSession::Builder& InferenceSession::Builder::Executor(
+    fpga::ExecMode mode) {
+  executor_ = mode;
+  return *this;
+}
 InferenceSession::Builder& InferenceSession::Builder::Replicas(int n) {
   server_.replicas = n;
   return *this;
@@ -268,6 +273,9 @@ InferenceSession::Builder::Build() {
   copts.tiling = tiling_;
   copts.ports = ports_;
   copts.masks = session->masks_;
+  // Serving defaults to the fast executor (HWP_EXEC still overrides);
+  // .Executor(...) pins it regardless of the environment.
+  copts.executor = fpga::ResolveExecMode(executor_, fpga::ExecMode::kFast);
   StatusOr<fpga::CompiledTinyR2Plus1d> compiled =
       fpga::CompiledTinyR2Plus1d::Compile(model, std::move(copts));
   if (!compiled.ok()) return compiled.status();

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,12 @@ class InferenceSession {
     // --- accelerator design point -------------------------------------
     Builder& Tiling(const fpga::Tiling& tiling);
     Builder& Ports(const fpga::Ports& ports);
+    // Conv-stage engine: kFast (pre-packed block-CSR tiles + analytic
+    // timing, the serving default) or kSimulate (step-by-step cycle
+    // simulator). Unset resolves HWP_EXEC, then defaults to kFast —
+    // both are bitwise identical, so this only trades wall-clock
+    // against step-level cycle attribution.
+    Builder& Executor(fpga::ExecMode mode);
 
     // --- serving ------------------------------------------------------
     Builder& Replicas(int n);
@@ -111,6 +118,7 @@ class InferenceSession {
     bool zero_block_masks_ = false;
     fpga::Tiling tiling_{4, 4, 2, 4, 4};
     fpga::Ports ports_;
+    std::optional<fpga::ExecMode> executor_;
     serve::ServerConfig server_;
   };
 

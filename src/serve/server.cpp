@@ -29,6 +29,7 @@ struct ServeMetrics {
   obs::Counter& watchdog_fired;
   obs::Gauge& queue_depth;
   obs::Gauge& healthy_replicas;
+  obs::Gauge& executor;  // 1 = fast compiled executor, 0 = simulator
   obs::Histogram& batch_size;
   obs::Histogram& latency_us;
 
@@ -45,6 +46,7 @@ struct ServeMetrics {
                           reg.GetCounter("serve.watchdog_fired"),
                           reg.GetGauge("serve.queue_depth"),
                           reg.GetGauge("serve.healthy_replicas"),
+                          reg.GetGauge("serve.executor"),
                           reg.GetHistogram("serve.batch_size"),
                           reg.GetHistogram("serve.latency_us")};
     return m;
@@ -109,6 +111,8 @@ InferenceServer::InferenceServer(const fpga::CompiledTinyR2Plus1d& model,
   }
   ServeMetrics::Get().healthy_replicas.Set(
       static_cast<double>(config_.replicas));
+  ServeMetrics::Get().executor.Set(
+      model.executor() == fpga::ExecMode::kFast ? 1.0 : 0.0);
   dispatcher_ = std::thread([this] { DispatchLoop(); });
   if (config_.watchdog_timeout_us > 0) {
     watchdog_ = std::thread([this] { WatchdogLoop(); });

@@ -1,0 +1,351 @@
+// Parity suite for the fast-path compiled executor: PackedConvLayer /
+// ExecMode::kFast must be bitwise identical to the TiledConvSim oracle
+// — logits, every output element, and every CompiledRunStats field —
+// across dense, 50%- and 90%-pruned masks, non-divisible channel and
+// tiling grids, and any thread count.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/admm.h"
+#include "data/synthetic_video.h"
+#include "fpga/compiled_executor.h"
+#include "fpga/model_compiler.h"
+#include "kernels/scratch.h"
+#include "kernels/thread_pool.h"
+#include "models/tiny_r2plus1d.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+
+namespace hwp3d {
+namespace {
+
+using fpga::CompiledModelOptions;
+using fpga::CompiledRunStats;
+using fpga::CompiledTinyR2Plus1d;
+using fpga::ExecMode;
+using fpga::PackedConvLayer;
+using fpga::PostOps;
+using fpga::TiledConvResult;
+using fpga::TiledConvSim;
+
+TensorQ RandomQ(const Shape& shape, Rng& rng, double lo = -2.0,
+                double hi = 2.0) {
+  TensorF f(shape);
+  for (int64_t i = 0; i < f.numel(); ++i) {
+    f[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return Quantize(f);
+}
+
+core::BlockMask RandomMask(int64_t blocks_m, int64_t blocks_n,
+                           double keep_prob, Rng& rng) {
+  core::BlockMask mask;
+  mask.blocks_m = blocks_m;
+  mask.blocks_n = blocks_n;
+  mask.enabled.assign(static_cast<size_t>(blocks_m * blocks_n), 0);
+  for (int64_t bm = 0; bm < blocks_m; ++bm)
+    for (int64_t bn = 0; bn < blocks_n; ++bn)
+      mask.set(bm, bn, rng.Flip(keep_prob));
+  return mask;
+}
+
+void ExpectBitwiseEqual(const TensorQ& a, const TensorQ& b) {
+  ASSERT_TRUE(a.SameShape(b));
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a[i].raw(), b[i].raw()) << "element " << i;
+  }
+}
+
+void ExpectStatsEqual(const fpga::TiledConvStats& sim,
+                      const fpga::TiledConvStats& fast) {
+  EXPECT_EQ(sim.tile_iterations, fast.tile_iterations);
+  EXPECT_EQ(sim.blocks_loaded, fast.blocks_loaded);
+  EXPECT_EQ(sim.blocks_skipped, fast.blocks_skipped);
+  EXPECT_EQ(sim.macs_executed, fast.macs_executed);
+  EXPECT_EQ(sim.modeled_cycles, fast.modeled_cycles);
+  EXPECT_EQ(sim.stall.wgt, fast.stall.wgt);
+  EXPECT_EQ(sim.stall.in, fast.stall.in);
+  EXPECT_EQ(sim.stall.comp, fast.stall.comp);
+  EXPECT_EQ(sim.stall.out, fast.stall.out);
+}
+
+struct LayerCase {
+  int64_t M, N, Di, Ri, Ci;
+  int64_t Kd, Kr, Kc;
+  std::array<int64_t, 3> stride;
+  fpga::Tiling tiling;
+  double keep_prob;  // < 0 = dense (no mask)
+};
+
+// Runs one layer on both engines with random weights/inputs/mask and
+// full post-ops (affine + shortcut + relu), asserting bitwise parity.
+void CheckLayerParity(const LayerCase& lc, uint64_t seed) {
+  SCOPED_TRACE(::testing::Message()
+               << "M=" << lc.M << " N=" << lc.N << " keep=" << lc.keep_prob
+               << " tiling=" << lc.tiling.ToString());
+  Rng rng(seed);
+  const TensorQ weights =
+      RandomQ(Shape{lc.M, lc.N, lc.Kd, lc.Kr, lc.Kc}, rng);
+  const TensorQ input = RandomQ(Shape{lc.N, lc.Di, lc.Ri, lc.Ci}, rng);
+  const int64_t D = (lc.Di - lc.Kd) / lc.stride[0] + 1;
+  const int64_t R = (lc.Ri - lc.Kr) / lc.stride[1] + 1;
+  const int64_t C = (lc.Ci - lc.Kc) / lc.stride[2] + 1;
+  const TensorQ shortcut = RandomQ(Shape{lc.M, D, R, C}, rng, -1.0, 1.0);
+
+  PostOps post;
+  post.has_affine = true;
+  post.scale = RandomQ(Shape{lc.M}, rng, 0.5, 1.5);
+  post.shift = RandomQ(Shape{lc.M}, rng, -0.5, 0.5);
+  post.shortcut = &shortcut;
+  post.relu = true;
+
+  const int64_t blocks_m = CeilDiv(lc.M, lc.tiling.Tm);
+  const int64_t blocks_n = CeilDiv(lc.N, lc.tiling.Tn);
+  core::BlockMask mask;
+  const bool masked = lc.keep_prob >= 0.0;
+  if (masked) mask = RandomMask(blocks_m, blocks_n, lc.keep_prob, rng);
+
+  const fpga::Ports ports;
+  const TiledConvSim sim(lc.tiling, ports);
+  const TiledConvResult want =
+      sim.Run(weights, input, lc.stride, masked ? &mask : nullptr, post);
+
+  const PackedConvLayer packed(weights, lc.tiling, ports,
+                               masked ? &mask : nullptr);
+  const TiledConvResult got = packed.Run(input, lc.stride, post);
+
+  ExpectBitwiseEqual(want.output, got.output);
+  ExpectStatsEqual(want.stats, got.stats);
+  if (masked) {
+    EXPECT_EQ(packed.surviving_tiles(), mask.CountEnabled());
+    EXPECT_EQ(packed.total_tiles(), mask.num_blocks());
+  } else {
+    EXPECT_EQ(packed.surviving_tiles(), blocks_m * blocks_n);
+  }
+}
+
+TEST(PackedConvLayerTest, MatchesSimOnDenseDivisibleGrid) {
+  CheckLayerParity({.M = 8, .N = 8, .Di = 6, .Ri = 8, .Ci = 8,
+                    .Kd = 3, .Kr = 3, .Kc = 3, .stride = {1, 1, 1},
+                    .tiling = {4, 4, 2, 3, 3}, .keep_prob = -1.0},
+                   7);
+}
+
+TEST(PackedConvLayerTest, MatchesSimOnPrunedMasks) {
+  for (double keep : {0.5, 0.1}) {
+    CheckLayerParity({.M = 8, .N = 8, .Di = 6, .Ri = 8, .Ci = 8,
+                      .Kd = 3, .Kr = 3, .Kc = 3, .stride = {1, 1, 1},
+                      .tiling = {4, 4, 2, 3, 3}, .keep_prob = keep},
+                     21);
+  }
+}
+
+TEST(PackedConvLayerTest, MatchesSimOnNonDivisibleGridsAndStride) {
+  // 10 channels on Tm=Tn=3 (partial edge blocks), 9x7x11 input on
+  // 2x4x4 spatial tiles (partial tiles in every axis), stride 2 in
+  // width, asymmetric (2+1)D-style kernels.
+  CheckLayerParity({.M = 10, .N = 7, .Di = 9, .Ri = 7, .Ci = 11,
+                    .Kd = 1, .Kr = 3, .Kc = 3, .stride = {1, 1, 2},
+                    .tiling = {3, 3, 2, 4, 4}, .keep_prob = 0.6},
+                   33);
+  CheckLayerParity({.M = 5, .N = 10, .Di = 8, .Ri = 6, .Ci = 6,
+                    .Kd = 3, .Kr = 1, .Kc = 1, .stride = {2, 1, 1},
+                    .tiling = {4, 4, 3, 5, 5}, .keep_prob = 0.4},
+                   47);
+}
+
+TEST(PackedConvLayerTest, MatchesSimWithFullyPrunedRows) {
+  // Rows whose every block is pruned still emit the post-processed
+  // (affine/shortcut) output tile on both engines.
+  Rng rng(5);
+  const fpga::Tiling tiling{4, 4, 2, 3, 3};
+  const TensorQ weights = RandomQ(Shape{8, 8, 3, 3, 3}, rng);
+  const TensorQ input = RandomQ(Shape{8, 6, 8, 8}, rng);
+  core::BlockMask mask = RandomMask(2, 2, 1.0, rng);
+  mask.set(0, 0, false);
+  mask.set(0, 1, false);  // row 0 fully pruned
+  PostOps post;
+  post.has_affine = true;
+  post.scale = RandomQ(Shape{8}, rng, 0.5, 1.5);
+  post.shift = RandomQ(Shape{8}, rng, -0.5, 0.5);
+
+  const fpga::Ports ports;
+  const TiledConvSim sim(tiling, ports);
+  const auto want = sim.Run(weights, input, {1, 1, 1}, &mask, post);
+  const PackedConvLayer packed(weights, tiling, ports, &mask);
+  const auto got = packed.Run(input, {1, 1, 1}, post);
+  ExpectBitwiseEqual(want.output, got.output);
+  ExpectStatsEqual(want.stats, got.stats);
+}
+
+TEST(PackedConvLayerTest, ThreadCountInvariance) {
+  // HWP_THREADS=1..8 equivalents: standalone pools of every size must
+  // produce bitwise-identical outputs (each slab task owns a disjoint
+  // output region with a fixed inner accumulation order).
+  Rng rng(13);
+  const fpga::Tiling tiling{3, 3, 2, 4, 4};
+  const fpga::Ports ports;
+  const TensorQ weights = RandomQ(Shape{10, 7, 3, 3, 3}, rng);
+  const TensorQ input = RandomQ(Shape{7, 8, 9, 9}, rng);
+  const core::BlockMask mask = RandomMask(4, 3, 0.5, rng);
+  PostOps post;
+  post.relu = true;
+  const PackedConvLayer packed(weights, tiling, ports, &mask);
+
+  ThreadPool serial(1);
+  const auto want = packed.Run(input, {1, 1, 1}, post, {}, &serial);
+  for (int threads = 2; threads <= 8; ++threads) {
+    ThreadPool pool(threads);
+    const auto got = packed.Run(input, {1, 1, 1}, post, {}, &pool);
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    ExpectBitwiseEqual(want.output, got.output);
+    ExpectStatsEqual(want.stats, got.stats);
+  }
+}
+
+TEST(PackedConvLayerTest, FastRunUsesAccountedScratch) {
+  Rng rng(3);
+  const fpga::Tiling tiling{4, 4, 2, 3, 3};
+  const TensorQ weights = RandomQ(Shape{8, 8, 3, 3, 3}, rng);
+  const TensorQ input = RandomQ(Shape{8, 6, 8, 8}, rng);
+  const PackedConvLayer packed(weights, tiling, fpga::Ports{}, nullptr);
+  (void)packed.Run(input, {1, 1, 1}, PostOps{});
+  EXPECT_GT(kernels::ScratchBytesInUse(), 0);
+}
+
+TEST(ExecModeTest, ParseAndResolve) {
+  EXPECT_EQ(fpga::ParseExecMode("sim"), ExecMode::kSimulate);
+  EXPECT_EQ(fpga::ParseExecMode("simulate"), ExecMode::kSimulate);
+  EXPECT_EQ(fpga::ParseExecMode("fast"), ExecMode::kFast);
+  EXPECT_EQ(fpga::ParseExecMode("warp"), std::nullopt);
+
+  unsetenv("HWP_EXEC");
+  EXPECT_EQ(fpga::ResolveExecMode(std::nullopt, ExecMode::kSimulate),
+            ExecMode::kSimulate);
+  EXPECT_EQ(fpga::ResolveExecMode(std::nullopt, ExecMode::kFast),
+            ExecMode::kFast);
+  setenv("HWP_EXEC", "fast", 1);
+  EXPECT_EQ(fpga::ResolveExecMode(std::nullopt, ExecMode::kSimulate),
+            ExecMode::kFast);
+  // An explicit request beats the environment.
+  EXPECT_EQ(fpga::ResolveExecMode(ExecMode::kSimulate, ExecMode::kFast),
+            ExecMode::kSimulate);
+  setenv("HWP_EXEC", "bogus", 1);
+  EXPECT_EQ(fpga::ResolveExecMode(std::nullopt, ExecMode::kSimulate),
+            ExecMode::kSimulate);
+  unsetenv("HWP_EXEC");
+}
+
+// --- whole-model parity ------------------------------------------------
+
+class CompiledExecutorModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogLevel(LogLevel::Warning);
+    models::TinyR2Plus1dConfig mcfg;
+    mcfg.num_classes = 4;
+    mcfg.stem_channels = 4;
+    mcfg.stage1_channels = 8;
+    mcfg.stage2_channels = 8;
+    model_ = std::make_unique<models::TinyR2Plus1d>(mcfg, rng_);
+    data::SyntheticVideoConfig dcfg;
+    dcfg.num_classes = 4;
+    dcfg.frames = 6;
+    dcfg.height = 10;
+    dcfg.width = 10;
+    dataset_ = std::make_unique<data::SyntheticVideoDataset>(dcfg);
+    auto batches = dataset_->MakeBatches(8, 8, rng_);
+    nn::Sgd opt(model_->Params(),
+                {.lr = 0.02f, .momentum = 0.9f, .weight_decay = 0.0f});
+    nn::TrainEpoch(*model_, opt, batches, {});
+  }
+  void TearDown() override { SetLogLevel(LogLevel::Info); }
+
+  TensorF MakeClip(uint64_t seed) {
+    Rng rng(seed);
+    return dataset_->MakeSample(static_cast<int>(seed) % 4, rng).clip;
+  }
+
+  // Hard-prunes with the real pruner at `eta` block sparsity under
+  // `block` and returns the masks.
+  std::vector<core::BlockMask> PruneMasks(double eta,
+                                          core::BlockConfig block) {
+    std::vector<core::PruneLayerSpec> specs;
+    for (nn::Conv3d* c : model_->PrunableConvs()) {
+      specs.push_back({&c->weight(), block, eta, c->name()});
+    }
+    core::AdmmPruner pruner(specs, core::AdmmConfig{});
+    pruner.StartRound(0);
+    pruner.HardPrune();
+    return pruner.masks();
+  }
+
+  void CheckModelParity(const CompiledModelOptions& base) {
+    CompiledModelOptions sim_opts = base;
+    sim_opts.executor = ExecMode::kSimulate;
+    CompiledModelOptions fast_opts = base;
+    fast_opts.executor = ExecMode::kFast;
+    auto sim = CompiledTinyR2Plus1d::Compile(*model_, sim_opts);
+    auto fast = CompiledTinyR2Plus1d::Compile(*model_, fast_opts);
+    ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+    ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+    EXPECT_EQ(sim->executor(), ExecMode::kSimulate);
+    EXPECT_EQ(fast->executor(), ExecMode::kFast);
+    for (uint64_t s = 0; s < 3; ++s) {
+      const TensorF clip = MakeClip(s);
+      CompiledRunStats sim_stats, fast_stats;
+      const TensorF sim_logits = sim->Infer(clip, &sim_stats);
+      const TensorF fast_logits = fast->Infer(clip, &fast_stats);
+      ASSERT_EQ(sim_logits.numel(), fast_logits.numel());
+      for (int64_t k = 0; k < sim_logits.numel(); ++k) {
+        // Bitwise: the accelerator outputs agree element-for-element,
+        // and the host-side pooling/FC runs on identical inputs.
+        EXPECT_EQ(sim_logits[k], fast_logits[k]) << "logit " << k;
+      }
+      EXPECT_EQ(sim_stats.modeled_cycles, fast_stats.modeled_cycles);
+      EXPECT_EQ(sim_stats.blocks_loaded, fast_stats.blocks_loaded);
+      EXPECT_EQ(sim_stats.blocks_skipped, fast_stats.blocks_skipped);
+      EXPECT_EQ(sim_stats.macs_executed, fast_stats.macs_executed);
+      EXPECT_EQ(sim->Classify(clip), fast->Classify(clip));
+    }
+  }
+
+  Rng rng_{11};
+  std::unique_ptr<models::TinyR2Plus1d> model_;
+  std::unique_ptr<data::SyntheticVideoDataset> dataset_;
+};
+
+TEST_F(CompiledExecutorModelTest, DenseParity) {
+  CompiledModelOptions opts;
+  opts.tiling = fpga::Tiling{4, 4, 2, 5, 5};
+  CheckModelParity(opts);
+}
+
+TEST_F(CompiledExecutorModelTest, HalfPrunedParity) {
+  CompiledModelOptions opts;
+  opts.tiling = fpga::Tiling{4, 4, 2, 5, 5};
+  opts.masks = PruneMasks(0.5, {4, 4});
+  CheckModelParity(opts);
+}
+
+TEST_F(CompiledExecutorModelTest, NinetyPercentPrunedParity) {
+  CompiledModelOptions opts;
+  opts.tiling = fpga::Tiling{4, 4, 2, 5, 5};
+  opts.masks = PruneMasks(0.9, {4, 4});
+  CheckModelParity(opts);
+}
+
+TEST_F(CompiledExecutorModelTest, NonDivisibleTilingParity) {
+  // Tm=Tn=3 does not divide the 4/8-channel convs; Td/Tr/Tc leave
+  // partial spatial tiles on the 6x10x10 clips.
+  CompiledModelOptions opts;
+  opts.tiling = fpga::Tiling{3, 3, 2, 4, 4};
+  opts.masks = PruneMasks(0.5, {3, 3});
+  CheckModelParity(opts);
+}
+
+}  // namespace
+}  // namespace hwp3d
